@@ -1,0 +1,80 @@
+"""Ablation — optimality gaps of the heuristics against the exact
+solvers of Chapter 4 on small instances.
+
+The NP-completeness results (Theorems 4.1-4.8) justify heuristics;
+this benchmark quantifies how much they give up: mean ratio of
+heuristic cost to exact optimum per model on a 5x4 mesh (one even
+side, as the sorted MP/MC algorithms need a Hamilton cycle) with 4
+destinations.
+"""
+
+from __future__ import annotations
+
+import random
+from statistics import mean
+
+from conftest import scaled
+
+from repro.exact import (
+    minimal_steiner_tree_cost,
+    optimal_multicast_cycle,
+    optimal_multicast_path,
+    optimal_multicast_star_cost,
+    optimal_multicast_tree_cost,
+)
+from repro.heuristics import (
+    divided_greedy_route,
+    greedy_st_route,
+    sorted_mc_route,
+    sorted_mp_route,
+    xfirst_route,
+)
+from repro.models import random_multicast
+from repro.topology import Mesh2D
+from repro.wormhole import dual_path_route, multi_path_route
+
+
+def run():
+    mesh = Mesh2D(5, 4)
+    rng = random.Random(99)
+    runs = scaled(15, minimum=5)
+    requests = [random_multicast(mesh, 4, rng) for _ in range(runs)]
+
+    pairs = {
+        "sorted MP / OMP": (
+            sorted_mp_route,
+            lambda r: optimal_multicast_path(r).traffic,
+        ),
+        "sorted MC / OMC": (
+            sorted_mc_route,
+            lambda r: optimal_multicast_cycle(r).traffic,
+        ),
+        "greedy ST / MST": (greedy_st_route, minimal_steiner_tree_cost),
+        "X-first / OMT": (xfirst_route, optimal_multicast_tree_cost),
+        "divided greedy / OMT": (divided_greedy_route, optimal_multicast_tree_cost),
+        "dual-path / OMS": (dual_path_route, optimal_multicast_star_cost),
+        "multi-path / OMS": (multi_path_route, optimal_multicast_star_cost),
+    }
+    rows = []
+    for name, (heuristic, exact) in pairs.items():
+        ratios = []
+        for r in requests:
+            h = heuristic(r).traffic
+            opt = exact(r)
+            opt_cost = opt if isinstance(opt, (int, float)) else opt.traffic
+            ratios.append(h / opt_cost)
+        rows.append([name, mean(ratios), max(ratios)])
+    return rows
+
+
+def test_ablation_exact_vs_heuristic(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_exact_vs_heuristic",
+        "Ablation: heuristic/optimal cost ratios (5x4 mesh, k=4)",
+        ["pair", "mean ratio", "max ratio"],
+        rows,
+    )
+    for name, mean_ratio, max_ratio in rows:
+        assert mean_ratio >= 1.0 - 1e-9
+        assert mean_ratio < 2.5, name

@@ -1,0 +1,56 @@
+"""Ablation — destination-address header overhead (§2.3.1: "the
+destination field in the message only carries the destination
+addresses", and longer lists mean longer messages).
+
+The dissertation's simulations use fixed 128-byte messages; with header
+modelling on, each worm's length grows with the number of addresses it
+carries.  Multi-path routing splits the list over up to four worms
+(shorter headers each) while dual-path carries up to half the list per
+worm — so header modelling widens multi-path's advantage as the
+destination count grows.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.sim import SimConfig, run_dynamic
+from repro.topology import Mesh2D
+
+DEST_COUNTS = (5, 15, 30)
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rows = []
+    for k in DEST_COUNTS:
+        row = [k]
+        for modelled in (False, True):
+            cfg = SimConfig(
+                num_messages=scaled(300),
+                num_destinations=k,
+                mean_interarrival=300e-6,
+                model_header_overhead=modelled,
+                seed=91,
+            )
+            for scheme in ("dual-path", "multi-path"):
+                row.append(run_dynamic(mesh, scheme, cfg).mean_latency * 1e6)
+        rows.append(row)
+    return rows
+
+
+def test_ablation_header_overhead(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_header_overhead",
+        "Ablation: latency (us) without/with header modelling (8x8 mesh, 300us)",
+        ["k", "dual (no hdr)", "multi (no hdr)", "dual (hdr)", "multi (hdr)"],
+        rows,
+    )
+    for k, dual0, multi0, dual1, multi1 in rows:
+        # headers only add latency
+        assert dual1 >= dual0 * 0.99
+        assert multi1 >= multi0 * 0.99
+    # at the largest destination count the header hits dual-path harder
+    k, dual0, multi0, dual1, multi1 = rows[-1]
+    assert (dual1 - dual0) >= (multi1 - multi0) * 0.8

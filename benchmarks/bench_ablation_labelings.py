@@ -1,0 +1,79 @@
+"""Ablation — the choice of Hamiltonian labeling (§6.2.2, Figs. 6.9
+vs 6.10).
+
+The dissertation notes "the performance of a routing scheme is
+dependent on the selection of a Hamilton path": its boustrophedon
+labeling makes the routing function R shortest-path-preserving, while
+other Hamiltonian labelings (here: an outside-in spiral) remain
+deadlock-free but take detours.  Measures dual-path traffic and path
+stretch under both labelings.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import scaled
+
+from repro.labeling import BoustrophedonMeshLabeling, SpiralMeshLabeling
+from repro.models import random_multicast
+from repro.sim import SimConfig, run_dynamic
+from repro.sim.traffic import Router
+from repro.topology import Mesh2D
+from repro.wormhole import dual_path_route
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    labelings = {
+        "boustrophedon": BoustrophedonMeshLabeling(mesh),
+        "spiral": SpiralMeshLabeling(mesh),
+    }
+    # unicast stretch of the routing function R
+    stretch = {}
+    for name, lab in labelings.items():
+        total = shortest = 0
+        nodes = list(mesh.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u != v:
+                    total += len(lab.route_path(u, v)) - 1
+                    shortest += mesh.distance(u, v)
+        stretch[name] = total / shortest
+
+    # dual-path multicast traffic
+    rng = random.Random(123)
+    runs = scaled(60)
+    requests = [random_multicast(mesh, 10, rng) for _ in range(runs)]
+    traffic = {}
+    for name, lab in labelings.items():
+        traffic[name] = sum(
+            dual_path_route(r, labeling=lab).traffic for r in requests
+        ) / len(requests)
+
+    # dynamic latency
+    latency = {}
+    cfg = SimConfig(num_messages=scaled(300), mean_interarrival=300e-6, seed=9)
+    for name, lab in labelings.items():
+        router = Router(mesh, "dual-path")
+        router.labeling = lab
+        latency[name] = run_dynamic(mesh, "dual-path", cfg, router=router).mean_latency * 1e6
+
+    return [
+        [name, stretch[name], traffic[name], latency[name]]
+        for name in labelings
+    ]
+
+
+def test_ablation_labelings(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_labelings",
+        "Ablation: Hamiltonian labeling choice (8x8 mesh, dual-path, k=10)",
+        ["labeling", "unicast stretch", "mean traffic", "latency us"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["boustrophedon"][1] == 1.0  # Lemma 6.1: R is shortest
+    assert by_name["spiral"][1] > 1.0
+    assert by_name["boustrophedon"][2] < by_name["spiral"][2]

@@ -1,0 +1,58 @@
+"""Ablation — virtual-channel plane count (§8.2, "the network may be
+partitioned into many sub-networks ... to support multiple multicast
+paths.  The issue will be how many virtual channels are required").
+
+Sweeps the number of planes for the multi-plane dual-path extension on
+an 8x8 mesh at a fixed moderate-high load, reporting latency and
+static traffic.  More planes shorten each path (latency drops) at the
+cost of more virtual channels and slightly more total traffic (lost
+prefix sharing) — the quantified answer to the dissertation's open
+question.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import scaled
+
+from repro.models import random_multicast
+from repro.sim import SimConfig, run_dynamic
+from repro.topology import Mesh2D
+from repro.wormhole.virtual_channels import virtual_channel_route
+
+PLANES = (1, 2, 3, 4)
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rng = random.Random(7)
+    runs = scaled(40)
+    requests = [random_multicast(mesh, 15, rng) for _ in range(runs)]
+    rows = []
+    for p in PLANES:
+        traffic = sum(virtual_channel_route(r, p).traffic for r in requests) / runs
+        hops = sum(virtual_channel_route(r, p).max_hops() for r in requests) / runs
+        cfg = SimConfig(
+            num_messages=scaled(400),
+            num_destinations=15,
+            mean_interarrival=250e-6,
+            seed=21,
+        )
+        latency = run_dynamic(mesh, f"virtual-channel-{p}", cfg).mean_latency * 1e6
+        rows.append([p, traffic, hops, latency])
+    return rows
+
+
+def test_ablation_virtual_channels(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_virtual_channels",
+        "Ablation: virtual-channel planes (8x8 mesh, dual-path style, k=15)",
+        ["planes", "mean traffic", "mean max hops", "latency us"],
+        rows,
+    )
+    latencies = [r[3] for r in rows]
+    hops = [r[2] for r in rows]
+    assert latencies[-1] < latencies[0]  # more planes -> lower latency
+    assert hops[-1] < hops[0]  # and shorter longest paths

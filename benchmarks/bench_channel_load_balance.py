@@ -1,0 +1,61 @@
+"""Extension study — static channel-load balance per routing scheme
+(§2.3.2: deterministic routing "may not evenly distribute the load over
+the channels"; the static explanation of the Fig. 7.11 hot spots).
+
+Aggregates the channels used by a batch of random multicasts per
+scheme and reports total transmissions, peak channel load, the
+peak-to-mean hot-spot factor and the Gini inequality coefficient.
+Expected: fixed-path is the most concentrated (everything funnels down
+the Hamiltonian path); the quadrant tree and multi-path spread widest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import scaled
+
+from repro.heuristics import greedy_st_route, xfirst_route
+from repro.metrics.load import load_summary
+from repro.models import random_multicast
+from repro.topology import Mesh2D
+from repro.wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+SCHEMES = {
+    "greedy-ST": greedy_st_route,
+    "X-first": xfirst_route,
+    "dual-path": dual_path_route,
+    "multi-path": multi_path_route,
+    "fixed-path": fixed_path_route,
+}
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rng = random.Random(101)
+    runs = scaled(60)
+    requests = [random_multicast(mesh, 10, rng) for _ in range(runs)]
+    rows = []
+    for name, algo in SCHEMES.items():
+        routes = [algo(r) for r in requests]
+        s = load_summary(mesh, routes)
+        rows.append(
+            [name, s.total_transmissions, s.max_load, s.peak_to_mean, s.gini]
+        )
+    return rows
+
+
+def test_channel_load_balance(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "channel_load_balance",
+        "Extension: channel load balance per scheme (8x8 mesh, k=10, 60 multicasts)",
+        ["scheme", "transmissions", "max load", "peak/mean", "gini"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    # fixed-path is the most concentrated of the path schemes
+    assert by["fixed-path"][4] > by["multi-path"][4]
+    assert by["fixed-path"][4] > by["dual-path"][4]
+    # shortest-path tree schemes have the least total traffic
+    assert by["greedy-ST"][1] == min(r[1] for r in rows)

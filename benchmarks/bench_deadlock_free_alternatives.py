@@ -1,0 +1,70 @@
+"""Extension study — the design space of deadlock-free multicast.
+
+Chapter 6 exists because wormhole routers have no message buffers: the
+pre-existing safe option was a cut-through router that *buffers* at
+replication points (ref. [21]).  This benchmark puts all deadlock-free
+alternatives side by side on the same workload:
+
+* ``vct-tree``     — buffered-replication tree on VCT routers
+                     (hardware cost: full-message buffers per node);
+* ``tree-xfirst``  — lockstep wormhole tree on doubled channels
+                     (hardware cost: 2x channels);
+* ``dual-path`` / ``multi-path`` — Chapter 6's wormhole stars
+                     (no extra hardware).
+
+Expected: at low load all are close; under load the lockstep tree
+saturates first; the VCT tree stays strong (it sheds blocking into
+buffers) but that strength is bought with per-node buffering hardware —
+the trade Chapter 6's path schemes avoid.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.sim import SimConfig, run_dynamic
+from repro.topology import Mesh2D
+
+INTERARRIVALS_US = (1000, 300, 150)
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rows = []
+    for ia in INTERARRIVALS_US:
+        base = SimConfig(
+            num_messages=scaled(400),
+            num_destinations=10,
+            mean_interarrival=ia * 1e-6,
+            seed=61,
+        )
+        row = [ia]
+        row.append(run_dynamic(mesh, "vct-tree", base).mean_latency * 1e6)
+        row.append(
+            run_dynamic(mesh, "tree-xfirst", base.replace(channels_per_link=2)).mean_latency
+            * 1e6
+        )
+        row.append(run_dynamic(mesh, "dual-path", base).mean_latency * 1e6)
+        row.append(run_dynamic(mesh, "multi-path", base).mean_latency * 1e6)
+        rows.append(row)
+    return rows
+
+
+def test_deadlock_free_alternatives(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "deadlock_free_alternatives",
+        "Extension: deadlock-free multicast alternatives, latency (us) vs load (8x8 mesh, k=10)",
+        ["interarrival_us", "vct-tree (buffers)", "tree-xfirst (2x chan)", "dual-path", "multi-path"],
+        rows,
+    )
+    # all complete (no DeadlockDetected raised) at every load.  The
+    # trade-off in full: at LOW load the VCT tree is the slowest (it
+    # pays full-message buffering at every replication point) and the
+    # wormhole schemes sit near the pipeline floor; at HIGH load the
+    # VCT tree is the strongest (blocking sheds into buffers) — the
+    # reason ref. [21] built on cut-through, and the hardware cost
+    # Chapter 6's bufferless path schemes avoid.
+    low, high = rows[0], rows[-1]
+    assert low[1] == max(low[1:])  # buffering penalty when uncontended
+    assert high[1] == min(high[1:])  # graceful degradation under load

@@ -1,0 +1,36 @@
+"""Fig. 2.3 — contention-free latency of the four switching
+technologies as a function of distance.
+
+Paper claim: store-and-forward latency grows linearly with the number
+of hops, while virtual cut-through, circuit switching and wormhole
+routing are nearly distance-independent for L >> header/flit size.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import LATENCY_MODELS, SwitchingParams
+
+
+def compute_table():
+    p = SwitchingParams()
+    distances = [1, 2, 4, 8, 16, 32]
+    rows = []
+    for d in distances:
+        rows.append(
+            [d] + [LATENCY_MODELS[m](d, p) * 1e6 for m in LATENCY_MODELS]
+        )
+    return rows
+
+
+def test_fig2_3_switching_latency(benchmark, emit):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    emit(
+        "fig2_3_switching",
+        "Fig 2.3: network latency (us) vs distance, L=128B, B=20MB/s",
+        ["D"] + list(LATENCY_MODELS),
+        rows,
+    )
+    saf = [r[1] for r in rows]
+    wh = [r[4] for r in rows]
+    assert saf[-1] / saf[0] > 15  # linear in D
+    assert wh[-1] / wh[0] < 2  # nearly flat

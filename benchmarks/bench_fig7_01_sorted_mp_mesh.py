@@ -1,0 +1,41 @@
+"""Fig. 7.1 — additional traffic of the sorted MP algorithm on a
+32x32 mesh vs multiple one-to-one and broadcast.
+
+Paper shape: the sorted MP algorithm always creates less traffic than
+multiple one-to-one; broadcast's additional traffic (N-1-k) only drops
+below it as k approaches N.
+"""
+
+from __future__ import annotations
+
+from conftest import static_sweep
+
+from repro.heuristics import broadcast_route, multiple_unicast_route, sorted_mp_route
+from repro.topology import Mesh2D
+
+KS = [10, 50, 100, 200, 400, 600, 900]
+
+
+def run():
+    mesh = Mesh2D(32, 32)
+    algorithms = {
+        "sorted-MP": sorted_mp_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return static_sweep(mesh, algorithms, KS, base_runs=30)
+
+
+def test_fig7_1_sorted_mp_mesh(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_01_sorted_mp_mesh",
+        "Fig 7.1: additional traffic on a 32x32 mesh (1023 = broadcast cap)",
+        ["k", "runs", "sorted-MP", "multi-unicast", "broadcast"],
+        rows,
+    )
+    for k, _, mp, uni, bc in rows:
+        assert mp < uni  # always beats multiple one-to-one
+        assert abs(bc - (1023 - k)) < 1e-9  # broadcast additional = N-1-k
+    # sorted MP beats broadcast until k gets close to N
+    assert rows[0][2] < rows[0][4]

@@ -1,0 +1,38 @@
+"""Fig. 7.3 — additional traffic of the greedy ST algorithm on a
+32x32 mesh vs multiple one-to-one and broadcast.
+
+Paper shape: greedy ST is far below both baselines over the whole
+sweep (it approaches the k lower bound, i.e. near-zero additional
+traffic, for dense destination sets)."""
+
+from __future__ import annotations
+
+from conftest import static_sweep
+
+from repro.heuristics import broadcast_route, greedy_st_route, multiple_unicast_route
+from repro.topology import Mesh2D
+
+KS = [10, 50, 100, 200, 400, 700]
+
+
+def run():
+    mesh = Mesh2D(32, 32)
+    algorithms = {
+        "greedy-ST": greedy_st_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return static_sweep(mesh, algorithms, KS, base_runs=20)
+
+
+def test_fig7_3_greedy_st_mesh(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_03_greedy_st_mesh",
+        "Fig 7.3: additional traffic on a 32x32 mesh",
+        ["k", "runs", "greedy-ST", "multi-unicast", "broadcast"],
+        rows,
+    )
+    for k, _, st, uni, bc in rows:
+        assert st < uni
+        assert st < bc

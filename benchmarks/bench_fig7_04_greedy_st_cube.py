@@ -1,0 +1,38 @@
+"""Fig. 7.4 — additional traffic of the greedy ST algorithm on a
+10-cube vs the LEN heuristic [Lan/Esfahanian/Ni 1990].
+
+Paper shape: "the results of our routing algorithm show a significant
+improvement over the LEN algorithm in terms of the amount of traffic".
+"""
+
+from __future__ import annotations
+
+from conftest import static_sweep
+
+from repro.heuristics import greedy_st_route, len_route, multiple_unicast_route
+from repro.topology import Hypercube
+
+KS = [10, 50, 100, 200, 400, 700]
+
+
+def run():
+    cube = Hypercube(10)
+    algorithms = {
+        "greedy-ST": greedy_st_route,
+        "LEN": len_route,
+        "multi-unicast": multiple_unicast_route,
+    }
+    return static_sweep(cube, algorithms, KS, base_runs=20)
+
+
+def test_fig7_4_greedy_st_cube(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_04_greedy_st_cube",
+        "Fig 7.4: additional traffic on a 10-cube (greedy ST vs LEN)",
+        ["k", "runs", "greedy-ST", "LEN", "multi-unicast"],
+        rows,
+    )
+    for k, _, st, len_t, uni in rows:
+        assert st <= len_t  # the headline improvement
+        assert len_t < uni

@@ -1,0 +1,44 @@
+"""Fig. 7.5 — additional traffic of the X-first and divided greedy
+multicast tree algorithms on a 16x16 mesh.
+
+Paper shape: X-first is always far below multiple one-to-one and
+broadcast; divided greedy is always below X-first.
+"""
+
+from __future__ import annotations
+
+from conftest import static_sweep
+
+from repro.heuristics import (
+    broadcast_route,
+    divided_greedy_route,
+    multiple_unicast_route,
+    xfirst_route,
+)
+from repro.topology import Mesh2D
+
+KS = [5, 10, 25, 50, 100, 180]
+
+
+def run():
+    mesh = Mesh2D(16, 16)
+    algorithms = {
+        "divided-greedy": divided_greedy_route,
+        "X-first": xfirst_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return static_sweep(mesh, algorithms, KS, base_runs=40)
+
+
+def test_fig7_5_mt_mesh(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_05_mt_mesh",
+        "Fig 7.5: additional traffic on a 16x16 mesh (multicast tree model)",
+        ["k", "runs", "divided-greedy", "X-first", "multi-unicast", "broadcast"],
+        rows,
+    )
+    for k, _, dg, xf, uni, bc in rows:
+        assert dg <= xf  # divided greedy always below X-first
+        assert xf < uni

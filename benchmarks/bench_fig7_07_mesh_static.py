@@ -1,0 +1,44 @@
+"""Fig. 7.7 — additional traffic of dual-path, multi-path and
+fixed-path routing on an 8x8 mesh for varying destination counts.
+
+Paper shape: multi-path <= dual-path <= fixed-path, with the gap
+between fixed and the others shrinking as the destination set grows
+(fixed-path wastes fewer of its forced hops when destinations are
+dense).
+"""
+
+from __future__ import annotations
+
+from conftest import static_sweep
+
+from repro.topology import Mesh2D
+from repro.wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+KS = [2, 5, 10, 20, 35, 50]
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    algorithms = {
+        "multi-path": multi_path_route,
+        "dual-path": dual_path_route,
+        "fixed-path": fixed_path_route,
+    }
+    return static_sweep(mesh, algorithms, KS, base_runs=60)
+
+
+def test_fig7_7_mesh_static(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_07_mesh_static",
+        "Fig 7.7: additional traffic of multicast star methods on an 8x8 mesh",
+        ["k", "runs", "multi-path", "dual-path", "fixed-path"],
+        rows,
+    )
+    for k, _, multi, dual, fixed in rows:
+        assert multi <= dual * 1.02
+        assert dual <= fixed * 1.02
+    # the fixed-vs-dual gap shrinks with k
+    first_gap = rows[0][4] - rows[0][3]
+    last_gap = rows[-1][4] - rows[-1][3]
+    assert last_gap <= first_gap

@@ -1,0 +1,57 @@
+"""Fig. 7.11 — average network latency vs number of destinations on a
+single-channel 8x8 mesh under substantial load: dual-path vs
+multi-path vs fixed-path.
+
+Paper shape (the chapter's subtlest result): with both load and
+destination count high, multi-path's source node becomes a *hot spot*
+(it transmits on all four outgoing channels at once) and dual-path
+performs much better; for small destination sets fixed-path wastes
+channels and loses, but for large sets fixed-path and dual-path become
+effectively identical.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.sim import SimConfig, run_dynamic
+from repro.topology import Mesh2D
+
+SCHEMES = ("dual-path", "multi-path", "fixed-path")
+DEST_COUNTS = (5, 15, 30, 45)
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rows = []
+    for k in DEST_COUNTS:
+        cfg = SimConfig(
+            num_messages=scaled(400),
+            num_destinations=k,
+            mean_interarrival=400e-6,
+            channels_per_link=1,
+            seed=42,
+        )
+        row = [k]
+        for scheme in SCHEMES:
+            row.append(run_dynamic(mesh, scheme, cfg).mean_latency * 1e6)
+        rows.append(row)
+    return rows
+
+
+def test_fig7_11_dynamic_dests_single(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig7_11_dynamic_dests_single",
+        "Fig 7.11: latency (us) vs destinations, single-channel 8x8 mesh, 400us interarrival",
+        ["k"] + list(SCHEMES),
+        rows,
+    )
+    small, large = rows[0], rows[-1]
+    # small destination sets: multi-path best, fixed-path worst
+    assert small[2] <= small[1]
+    assert small[3] >= small[1]
+    # large destination sets: the multi-path hot spot dominates
+    assert large[1] < large[2]
+    # fixed-path and dual-path effectively identical for large sets
+    assert abs(large[3] - large[1]) < 0.5 * large[1]

@@ -1,0 +1,55 @@
+"""Extension study — unicast/multicast interaction (§8.2, "study the
+interaction between unicast and multicast traffic and how different
+multicast algorithms affect the performance of unicast wormhole
+routing").
+
+Half the messages are unicasts routed with R; the other half are
+multicasts under each scheme.  Reports the latency bystander unicasts
+experience — the cost a multicast algorithm imposes on everyone else.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.sim import SimConfig, run_mixed
+from repro.topology import Mesh2D
+
+SCHEMES = ("dual-path", "multi-path", "fixed-path")
+
+
+def run():
+    mesh = Mesh2D(8, 8)
+    rows = []
+    for scheme in SCHEMES:
+        cfg = SimConfig(
+            num_messages=scaled(600),
+            num_destinations=10,
+            mean_interarrival=150e-6,
+            seed=41,
+        )
+        res = run_mixed(mesh, scheme, cfg, unicast_fraction=0.5)
+        rows.append(
+            [
+                scheme,
+                res.unicast_latency.mean * 1e6,
+                res.multicast_latency.mean * 1e6,
+            ]
+        )
+    return rows
+
+
+def test_mixed_traffic_interaction(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "mixed_traffic",
+        "Extension: unicast vs multicast latency (us), 50/50 mix, 8x8 mesh, k=10",
+        ["multicast scheme", "unicast latency", "multicast latency"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    # the wasteful fixed-path multicast hurts bystander unicasts most
+    assert by["fixed-path"][1] > by["multi-path"][1]
+    # unicasts are never slower than the multicasts sharing the wires
+    for scheme, uni, multi in rows:
+        assert uni <= multi * 1.2

@@ -1,0 +1,52 @@
+"""Tables 5.1-5.4 — Hamilton cycle mappings and sorting keys.
+
+Regenerates the 4x4-mesh and 4-cube Hamilton cycles (h mappings) and
+the source-relative sorting keys f used by the sorted MP algorithm, and
+checks them against the dissertation's printed tables.
+"""
+
+from __future__ import annotations
+
+from repro.labeling import canonical_cycle
+from repro.topology import Hypercube, Mesh2D
+
+TABLE_5_1 = [0, 1, 2, 3, 7, 6, 5, 9, 10, 11, 15, 14, 13, 12, 8, 4]
+TABLE_5_3 = [
+    "0000", "0001", "0011", "0010", "0110", "0111", "0101", "0100",
+    "1100", "1101", "1111", "1110", "1010", "1011", "1001", "1000",
+]
+
+
+def build_tables():
+    mesh = Mesh2D(4, 4)
+    mcyc = canonical_cycle(mesh)
+    cube = Hypercube(4)
+    ccyc = canonical_cycle(cube)
+    mesh_rows = [
+        [h, y * 4 + x, mcyc.f((x, y), (1, 2))] for (x, y), h in mcyc.table()
+    ]
+    cube_rows = [[h, cube.bits(v), ccyc.f(v, 0b0011)] for v, h in ccyc.table()]
+    return mesh_rows, cube_rows
+
+
+def test_tables_5_1_to_5_4(benchmark, emit):
+    mesh_rows, cube_rows = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    emit(
+        "table5_1_5_2_mesh",
+        "Tables 5.1/5.2: 4x4 mesh Hamilton cycle h and keys f (u0 = node 9)",
+        ["h(x)", "x", "f(x)"],
+        mesh_rows,
+    )
+    emit(
+        "table5_3_5_4_cube",
+        "Tables 5.3/5.4: 4-cube Hamilton cycle h and keys f (u0 = 0011)",
+        ["h(x)", "x", "f(x)"],
+        cube_rows,
+    )
+    assert [r[1] for r in mesh_rows] == TABLE_5_1
+    assert [r[1] for r in cube_rows] == TABLE_5_3
+    # spot checks against the printed key tables
+    f_mesh = {r[1]: r[2] for r in mesh_rows}
+    assert f_mesh[5] == 23 and f_mesh[9] == 8 and f_mesh[0] == 17
+    f_cube = {r[1]: r[2] for r in cube_rows}
+    assert f_cube["0000"] == 17 and f_cube["0011"] == 3 and f_cube["1000"] == 16

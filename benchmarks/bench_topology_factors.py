@@ -1,0 +1,56 @@
+"""§2.1 — the topology selection factors, tabulated.
+
+Reproduces the chapter's mesh-vs-hypercube comparison at N = 64 and
+N = 256: the hypercube has logarithmic diameter and huge bisection
+width; the 2D mesh has constant degree and, at equal bisection
+*density*, far wider channels (the Dally argument of §2.1.2 for
+low-dimensional wormhole networks).
+"""
+
+from __future__ import annotations
+
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from repro.topology.properties import profile
+
+
+def run():
+    cases = [
+        ("mesh 8x8", Mesh2D(8, 8)),
+        ("6-cube", Hypercube(6)),
+        ("torus 8x8", KAryNCube(8, 2)),
+        ("mesh 16x16", Mesh2D(16, 16)),
+        ("8-cube", Hypercube(8)),
+        ("mesh3d 4x4x4", Mesh3D(4, 4, 4)),
+    ]
+    rows = []
+    for name, topo in cases:
+        p = profile(topo, name)
+        rows.append(
+            [
+                p.name, p.num_nodes, p.num_links,
+                f"{p.min_degree}-{p.max_degree}" if not p.is_regular else str(p.max_degree),
+                p.diameter, p.average_distance, p.bisection_width,
+                p.channel_width_at_fixed_bisection_density(budget=64.0),
+            ]
+        )
+    return rows
+
+
+def test_topology_factors(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "topology_factors",
+        "§2.1 factors: links, degree, diameter, avg distance, bisection, rel. channel width",
+        ["topology", "N", "links", "degree", "diam", "avg dist", "bisection", "rel width"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    # hypercube: log diameter, mesh: sqrt diameter (same N = 64)
+    assert by["6-cube"][4] == 6
+    assert by["mesh 8x8"][4] == 14
+    # the mesh's small bisection buys wide channels at fixed density
+    assert by["mesh 8x8"][7] > by["6-cube"][7] * 2
+    # average distances: sqrt(N)*2/3-ish vs n/2
+    assert by["6-cube"][5] < by["mesh 8x8"][5]
+    # wraparound halves the torus diameter relative to the mesh
+    assert by["torus 8x8"][4] == by["mesh 8x8"][4] / 2 + 1

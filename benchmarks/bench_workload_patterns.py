@@ -1,0 +1,68 @@
+"""Extension study — routing schemes across traffic patterns (§8.2:
+"the simulation was under the assumption that the distribution of the
+source node and destination nodes is uniform ... some benchmarks are
+necessary").
+
+Static traffic of the main schemes over the synthetic pattern library:
+uniform, spatially local, aligned submesh, transpose-clustered and
+bit-reversal-clustered destination sets on a 16x16 mesh.
+"""
+
+from __future__ import annotations
+
+import random
+from statistics import mean
+
+from conftest import scaled
+
+from repro.heuristics import greedy_st_route, xfirst_route
+from repro.topology import Mesh2D
+from repro.workloads import PATTERNS
+from repro.wormhole import dual_path_route, multi_path_route
+
+SCHEMES = {
+    "greedy-ST": greedy_st_route,
+    "X-first": xfirst_route,
+    "dual-path": dual_path_route,
+    "multi-path": multi_path_route,
+}
+PATTERN_NAMES = ("uniform", "local", "subcube", "transpose", "bit-reversal")
+
+
+def run():
+    mesh = Mesh2D(16, 16)
+    rng = random.Random(71)
+    runs = scaled(30)
+    rows = []
+    for pname in PATTERN_NAMES:
+        pattern = PATTERNS[pname]
+        requests = []
+        while len(requests) < runs:
+            source = mesh.node_at(rng.randrange(mesh.num_nodes))
+            try:
+                requests.append(pattern(mesh, source, 8, rng))
+            except (ValueError, TypeError):
+                continue
+        row = [pname]
+        for algo in SCHEMES.values():
+            row.append(mean(algo(r).traffic for r in requests))
+        rows.append(row)
+    return rows
+
+
+def test_workload_patterns(benchmark, emit):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "workload_patterns",
+        "Extension: mean traffic per scheme x traffic pattern (16x16 mesh, k=8)",
+        ["pattern"] + list(SCHEMES),
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    # local and subcube traffic is much cheaper than uniform for all schemes
+    for col in range(1, 5):
+        assert by["local"][col] < by["uniform"][col]
+        assert by["subcube"][col] < by["uniform"][col]
+    # greedy ST never carries more traffic than X-first on any pattern
+    for r in rows:
+        assert r[1] <= r[2] * 1.02

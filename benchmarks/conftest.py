@@ -1,0 +1,88 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the dissertation:
+it computes the figure's data series once (timed by pytest-benchmark),
+prints the rows, and archives them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the measured numbers.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+The dissertation averaged each static data point over 1000 random
+multicast sets and simulated dynamic points to a 5% confidence
+interval; the benchmarks use reduced replication (documented per
+benchmark) to keep the suite's wall-clock time reasonable.  Increase
+``REPRO_SCALE`` (environment variable, default 1.0) to tighten.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    """Scale a replication count by REPRO_SCALE."""
+    return max(minimum, int(n * SCALE))
+
+
+@pytest.fixture
+def emit():
+    """Print a result table and archive it under benchmarks/results/."""
+
+    def _emit(name: str, title: str, header: list[str], rows: list[list]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        widths = [
+            max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+            for i, h in enumerate(header)
+        ]
+        lines = [title, ""]
+        lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+        text = "\n".join(lines)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def static_sweep(topology, algorithms: dict, ks, base_runs: int):
+    """Mean additional traffic per algorithm over a destination-count
+    sweep (the measurement behind Figs. 7.1-7.7).
+
+    Every algorithm sees the same random multicast sets per k; the
+    number of runs shrinks with k to bound wall-clock time (the
+    dissertation used 1000 runs per point).
+    Returns rows ``[k, runs, traffic_algo1, ...]``.
+    """
+    import random
+
+    from repro.models import random_multicast
+
+    rows = []
+    for k in ks:
+        runs = scaled(max(3, base_runs * 10 // max(10, k)), minimum=3)
+        requests = []
+        rng = random.Random(10_000 + k)
+        for _ in range(runs):
+            requests.append(random_multicast(topology, k, rng))
+        row = [k, runs]
+        for algorithm in algorithms.values():
+            total = sum(algorithm(r).traffic - k for r in requests)
+            row.append(total / runs)
+        rows.append(row)
+    return rows

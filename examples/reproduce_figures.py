@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate every Chapter 7 figure at reduced scale.
+
+The programmatic face of the benchmark suite: runs all eleven
+experiments through :mod:`repro.experiments` and prints each measured
+table.  Increase ``SCALE`` (or use ``python -m repro reproduce <fig>
+--scale 1.0``) for tighter replication.
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import EXPERIMENTS, reproduce
+
+SCALE = 0.15
+
+
+def main() -> None:
+    t0 = time.time()
+    for name in EXPERIMENTS:
+        result = reproduce(name, scale=SCALE)
+        print(result.as_table())
+        print()
+    print(f"(all figures regenerated at scale {SCALE} in {time.time() - t0:.1f}s; "
+          "see benchmarks/ for the asserted full-scale runs)")
+
+
+if __name__ == "__main__":
+    main()

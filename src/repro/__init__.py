@@ -1,0 +1,67 @@
+"""repro — a reproduction of Xiaola Lin, *Multicast Communication in
+Multicomputer Networks* (Michigan State University, 1991; ICPP 1990).
+
+The package implements the dissertation's complete system:
+
+* :mod:`repro.topology` — mesh / hypercube / k-ary n-cube host graphs
+  and the grid graphs of the NP-hardness reductions;
+* :mod:`repro.labeling` — Hamiltonian-path labelings, Hamilton-cycle
+  mappings, and the routing function R;
+* :mod:`repro.models` — the multicast models (path, cycle, Steiner
+  tree, multicast tree, multicast star);
+* :mod:`repro.exact` — optimal solvers for small instances (Ch. 4);
+* :mod:`repro.nphard` — executable Chapter 4 reduction constructions;
+* :mod:`repro.heuristics` — Chapter 5 heuristic routing algorithms and
+  baselines;
+* :mod:`repro.wormhole` — Chapter 6 deadlock-free multicast wormhole
+  routing, channel-dependency-graph analysis, and the §8.2 extensions
+  (virtual channels, fault tolerance);
+* :mod:`repro.sim` — the discrete-event network simulator behind the
+  Chapter 7 dynamic study (wormhole, virtual cut-through, circuit
+  switching and store-and-forward substrates);
+* :mod:`repro.progmodel` — a message-passing programming interface on
+  the simulated machine (§8.2 "system supported multicast service");
+* :mod:`repro.metrics` — switching latency models and static traffic
+  metrics;
+* :mod:`repro.workloads` — synthetic traffic pattern generators;
+* :mod:`repro.viz` / :mod:`repro.cli` — ASCII routing diagrams and the
+  ``python -m repro`` command line.
+
+Quickstart::
+
+    from repro import Mesh2D, MulticastRequest
+    from repro.wormhole import dual_path_route
+
+    mesh = Mesh2D(6, 6)
+    request = MulticastRequest(mesh, (3, 2), ((0, 0), (5, 4)))
+    star = dual_path_route(request)       # deadlock-free multicast star
+"""
+
+from .models import (
+    InvalidRouteError,
+    MulticastCycle,
+    MulticastPath,
+    MulticastRequest,
+    MulticastStar,
+    MulticastTree,
+    random_multicast,
+)
+from .topology import GridGraph, Hypercube, KAryNCube, Mesh2D, Mesh3D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GridGraph",
+    "Hypercube",
+    "InvalidRouteError",
+    "KAryNCube",
+    "Mesh2D",
+    "Mesh3D",
+    "MulticastCycle",
+    "MulticastPath",
+    "MulticastRequest",
+    "MulticastStar",
+    "MulticastTree",
+    "random_multicast",
+    "__version__",
+]

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``route``      route one multicast and report traffic / hops (optionally
+               drawing the pattern for 2D meshes);
+``simulate``   run the Chapter 7 dynamic study for one scheme;
+``mixed``      run the §8.2 unicast/multicast interaction study;
+``reproduce``  regenerate one Chapter 7 figure at a chosen scale;
+``labels``     print a mesh labeling grid (cf. Fig. 6.9);
+``deadlock``   run the §6.1 deadlock demonstrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .models.request import MulticastRequest
+from .topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+
+
+def parse_topology(spec: str):
+    """Parse ``mesh:WxH``, ``mesh3d:WxHxD``, ``cube:N`` or ``torus:KxN``."""
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "mesh":
+            w, h = (int(p) for p in rest.split("x"))
+            return Mesh2D(w, h)
+        if kind == "mesh3d":
+            w, h, d = (int(p) for p in rest.split("x"))
+            return Mesh3D(w, h, d)
+        if kind == "cube":
+            return Hypercube(int(rest))
+        if kind == "torus":
+            k, n = (int(p) for p in rest.split("x"))
+            return KAryNCube(k, n)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(f"bad topology spec {spec!r}: {exc}") from exc
+    raise argparse.ArgumentTypeError(
+        f"unknown topology kind {kind!r} (mesh/mesh3d/cube/torus)"
+    )
+
+
+def parse_node(topology, text: str):
+    """Parse a node address: comma-separated coordinates, or an integer
+    (hypercubes accept binary with an ``0b`` prefix)."""
+    if isinstance(topology, Hypercube):
+        value = int(text, 0)
+        if not topology.is_node(value):
+            raise argparse.ArgumentTypeError(f"{text} is not a node")
+        return value
+    coords = tuple(int(p) for p in text.split(","))
+    node = coords if len(coords) > 1 else coords[0]
+    if not topology.is_node(node):
+        raise argparse.ArgumentTypeError(f"{text} is not a node")
+    return node
+
+
+ALGORITHMS = {}
+
+
+def _algorithms():
+    if not ALGORITHMS:
+        from .heuristics import (
+            broadcast_route,
+            divided_greedy_route,
+            greedy_st_route,
+            len_route,
+            multiple_unicast_route,
+            sorted_mc_route,
+            sorted_mp_route,
+            xfirst_route,
+        )
+        from .wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+        ALGORITHMS.update(
+            {
+                "sorted-mp": sorted_mp_route,
+                "sorted-mc": sorted_mc_route,
+                "greedy-st": greedy_st_route,
+                "xfirst": xfirst_route,
+                "divided-greedy": divided_greedy_route,
+                "len": len_route,
+                "multi-unicast": multiple_unicast_route,
+                "broadcast": broadcast_route,
+                "dual-path": dual_path_route,
+                "multi-path": multi_path_route,
+                "fixed-path": fixed_path_route,
+            }
+        )
+    return ALGORITHMS
+
+
+def cmd_route(args) -> int:
+    topology = parse_topology(args.topology)
+    source = parse_node(topology, args.source)
+    dests = tuple(parse_node(topology, d) for d in args.dest)
+    request = MulticastRequest(topology, source, dests)
+    algorithm = _algorithms()[args.algorithm]
+    route = algorithm(request)
+    hops = max(route.dest_hops(request.destinations).values())
+    print(f"{args.algorithm} on {topology}: traffic={route.traffic} max_hops={hops}")
+    if args.show:
+        if not isinstance(topology, Mesh2D):
+            print("(--show is only available for 2D meshes)", file=sys.stderr)
+        else:
+            from .viz import render_route
+
+            print(render_route(topology, route, request))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim import SimConfig, run_dynamic
+
+    topology = parse_topology(args.topology)
+    cfg = SimConfig(
+        num_messages=args.messages,
+        num_destinations=args.dests,
+        mean_interarrival=args.interarrival_us * 1e-6,
+        channels_per_link=2 if args.double_channels else 1,
+        seed=args.seed,
+    )
+    result = run_dynamic(topology, args.scheme, cfg)
+    print(
+        f"{args.scheme} on {topology}: mean latency "
+        f"{result.mean_latency * 1e6:.2f} us "
+        f"(+/- {result.latency.ci_halfwidth * 1e6:.2f}, "
+        f"{result.deliveries} deliveries, sim time {result.sim_time * 1e3:.2f} ms)"
+    )
+    return 0
+
+
+def cmd_mixed(args) -> int:
+    from .sim import SimConfig, run_mixed
+
+    topology = parse_topology(args.topology)
+    cfg = SimConfig(
+        num_messages=args.messages,
+        num_destinations=args.dests,
+        mean_interarrival=args.interarrival_us * 1e-6,
+        seed=args.seed,
+    )
+    result = run_mixed(topology, args.scheme, cfg, unicast_fraction=args.unicast_fraction)
+    print(
+        f"{args.scheme} on {topology} ({args.unicast_fraction:.0%} unicast): "
+        f"unicast {result.unicast_latency.mean * 1e6:.2f} us, "
+        f"multicast {result.multicast_latency.mean * 1e6:.2f} us"
+    )
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from .experiments import reproduce
+
+    result = reproduce(args.experiment, scale=args.scale)
+    print(result.as_table())
+    return 0
+
+
+def cmd_labels(args) -> int:
+    topology = parse_topology(args.topology)
+    if not isinstance(topology, Mesh2D):
+        print("labels rendering is only available for 2D meshes", file=sys.stderr)
+        return 2
+    from .labeling import BoustrophedonMeshLabeling, SpiralMeshLabeling
+    from .viz import render_labeling
+
+    labeling = (
+        SpiralMeshLabeling(topology) if args.spiral else BoustrophedonMeshLabeling(topology)
+    )
+    print(render_labeling(topology, labeling))
+    return 0
+
+
+def cmd_deadlock(args) -> int:
+    from .sim import SimConfig, run_static_scenario
+    from .wormhole import fig_6_1_broadcast_deadlock_cdg, fig_6_4_xfirst_deadlock_cdg, find_cycle
+
+    cube = Hypercube(3)
+    reqs = [
+        MulticastRequest(cube, 0, tuple(v for v in cube.nodes() if v != 0)),
+        MulticastRequest(cube, 1, tuple(v for v in cube.nodes() if v != 1)),
+    ]
+    res = run_static_scenario(cube, "ecube-tree", reqs)
+    print(f"Fig 6.1 (3-cube e-cube broadcasts): "
+          f"{'DEADLOCK' if not res.completed else 'completed'}; "
+          f"CDG cycle: {find_cycle(fig_6_1_broadcast_deadlock_cdg())}")
+    mesh = Mesh2D(4, 3)
+    reqs = [
+        MulticastRequest(mesh, (1, 1), ((0, 2), (3, 1))),
+        MulticastRequest(mesh, (2, 1), ((0, 1), (3, 0))),
+    ]
+    res = run_static_scenario(mesh, "xfirst-tree", reqs)
+    print(f"Fig 6.4 (3x4-mesh X-first multicasts): "
+          f"{'DEADLOCK' if not res.completed else 'completed'}; "
+          f"CDG cycle: {find_cycle(fig_6_4_xfirst_deadlock_cdg())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multicast communication in multicomputer networks (Lin 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("route", help="route one multicast")
+    p.add_argument("--topology", required=True, help="mesh:WxH | mesh3d:WxHxD | cube:N | torus:KxN")
+    p.add_argument("--source", required=True)
+    p.add_argument("--dest", action="append", required=True, help="repeatable")
+    p.add_argument("--algorithm", choices=sorted(_algorithms()), default="dual-path")
+    p.add_argument("--show", action="store_true", help="draw the pattern (2D meshes)")
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("simulate", help="dynamic latency study (Ch. 7)")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument("--scheme", default="dual-path")
+    p.add_argument("--messages", type=int, default=1000)
+    p.add_argument("--dests", type=int, default=10)
+    p.add_argument("--interarrival-us", type=float, default=300.0)
+    p.add_argument("--double-channels", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("mixed", help="unicast/multicast interaction study (§8.2)")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument("--scheme", default="dual-path")
+    p.add_argument("--messages", type=int, default=1000)
+    p.add_argument("--dests", type=int, default=10)
+    p.add_argument("--interarrival-us", type=float, default=300.0)
+    p.add_argument("--unicast-fraction", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_mixed)
+
+    p = sub.add_parser("reproduce", help="regenerate one dissertation figure")
+    p.add_argument("experiment", help="e.g. fig7.9 (see repro.experiments.EXPERIMENTS)")
+    p.add_argument("--scale", type=float, default=0.3,
+                   help="replication scale factor (1.0 = benchmark default)")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("labels", help="print a mesh labeling grid")
+    p.add_argument("--topology", default="mesh:4x3")
+    p.add_argument("--spiral", action="store_true", help="use the spiral ablation labeling")
+    p.set_defaults(func=cmd_labels)
+
+    p = sub.add_parser("deadlock", help="run the Fig. 6.1/6.4 deadlock demos")
+    p.set_defaults(func=cmd_deadlock)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Collective operations on the multicast programming model (§1.1,
+[17]: "barrier synchronization can be efficiently implemented using
+multicast communication").
+
+Built entirely from the :mod:`repro.progmodel` primitives (send /
+multicast / recv), so their cost reflects the simulated network and the
+chosen multicast scheme:
+
+* :func:`barrier`   — members report to the master; the master releases
+  everyone with one multicast (the §1.1 numerical-iteration use case);
+* :func:`gather`    — members send values, the master collects them;
+* :func:`reduce`    — gather + fold at the master;
+* :func:`broadcast_value` — one multicast carrying a payload.
+
+Each helper is a generator meant to be yielded from inside a node
+program (they run in that program's process).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .progmodel import NodeAPI
+
+
+def barrier(api: NodeAPI, master, members: Sequence):
+    """Barrier across ``members`` (master included implicitly).
+
+    Usage, identically from every participant::
+
+        yield from barrier(api, master, members)
+
+    Members send an arrival token to the master and wait for the
+    release multicast; the master collects every token and multicasts
+    the release.  Returns the simulated time at which this node passed
+    the barrier.
+    """
+    others = [m for m in members if m != master]
+    if api.node == master:
+        for _ in others:
+            source, payload = yield api.recv()
+            if payload != "barrier-arrive":
+                raise RuntimeError(f"unexpected message {payload!r} during barrier")
+        yield api.multicast(others, "barrier-release")
+    else:
+        yield api.send(master, "barrier-arrive")
+        source, payload = yield api.recv()
+        if payload != "barrier-release":
+            raise RuntimeError(f"unexpected message {payload!r} during barrier")
+    return api.now
+
+
+def gather(api: NodeAPI, master, members: Sequence, value=None):
+    """Gather one value per member at the master.
+
+    Returns ``{node: value}`` at the master and ``None`` elsewhere.
+    """
+    others = [m for m in members if m != master]
+    if api.node == master:
+        collected = {master: value}
+        for _ in others:
+            source, payload = yield api.recv()
+            collected[source] = payload
+        return collected
+    yield api.send(master, value)
+    return None
+
+
+def reduce(api: NodeAPI, master, members: Sequence, value, fold: Callable):
+    """Reduce members' values at the master with a binary ``fold``.
+
+    Returns the folded result at the master and ``None`` elsewhere.
+    """
+    collected = yield from gather(api, master, members, value)
+    if collected is None:
+        return None
+    result = None
+    for v in collected.values():
+        result = v if result is None else fold(result, v)
+    return result
+
+
+def broadcast_value(api: NodeAPI, master, members: Sequence, value=None):
+    """One-to-many value distribution from the master.
+
+    Returns the value at every member (including the master).
+    """
+    others = [m for m in members if m != master]
+    if api.node == master:
+        yield api.multicast(others, value)
+        return value
+    source, payload = yield api.recv()
+    return payload

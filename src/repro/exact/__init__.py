@@ -1,0 +1,32 @@
+"""Exact optimal multicast solvers for small instances (Ch. 4).
+
+Every optimisation problem here is NP-complete for meshes and
+hypercubes (Theorems 4.1-4.8), so these solvers are exponential and
+exist to measure the optimality gaps of the Chapter 5/6 heuristics.
+"""
+
+from .omp import (
+    InfeasibleRoute,
+    SearchBudgetExceeded,
+    held_karp_closed_walk_cost,
+    held_karp_walk_cost,
+    optimal_multicast_cycle,
+    optimal_multicast_path,
+)
+from .oms import optimal_multicast_star_cost, star_lower_bound
+from .omt import optimal_multicast_tree_cost, shortest_path_dag
+from .steiner import minimal_steiner_tree_cost
+
+__all__ = [
+    "InfeasibleRoute",
+    "SearchBudgetExceeded",
+    "held_karp_closed_walk_cost",
+    "held_karp_walk_cost",
+    "minimal_steiner_tree_cost",
+    "optimal_multicast_cycle",
+    "optimal_multicast_path",
+    "optimal_multicast_star_cost",
+    "optimal_multicast_tree_cost",
+    "shortest_path_dag",
+    "star_lower_bound",
+]

@@ -1,0 +1,185 @@
+"""Exact optimal multicast path / cycle solvers (Defs. 3.1-3.2, Ch. 4).
+
+Both problems are NP-complete (Theorems 4.1/4.2/4.5/4.6), so these
+solvers are exponential branch-and-bound searches intended for the
+small instances used to measure heuristic optimality gaps.  A
+polynomial Held-Karp relaxation over multicast *walks* (node repeats
+allowed) provides a certified lower bound.
+"""
+
+from __future__ import annotations
+
+from ..models.request import MulticastRequest
+from ..models.results import MulticastCycle, MulticastPath
+from ..topology.base import Node, Topology
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The branch-and-bound search exceeded its node-expansion budget."""
+
+
+class InfeasibleRoute(RuntimeError):
+    """No route of the requested model exists (e.g. no simple path from
+    the source can cover the destinations — possible on degenerate
+    hosts such as 1D meshes, cf. fact F3's even-side requirement)."""
+
+
+def held_karp_walk_cost(topology: Topology, source: Node, dests) -> int:
+    """Length of the shortest multicast *walk* from ``source`` visiting
+    all ``dests`` (Held-Karp DP over visit orders using shortest-path
+    segment distances).
+
+    Every multicast path is a walk of the same length, so this is a
+    lower bound on the OMP cost; it is exact whenever the optimal visit
+    order admits node-disjoint shortest segments.
+    """
+    dests = list(dests)
+    k = len(dests)
+    if k == 0:
+        return 0
+    dist_sd = [topology.distance(source, d) for d in dests]
+    dist = [[topology.distance(a, b) for b in dests] for a in dests]
+    # dp[S][j]: best walk from source covering destination subset S,
+    # ending at destination j.
+    size = 1 << k
+    INF = float("inf")
+    dp = [[INF] * k for _ in range(size)]
+    for j in range(k):
+        dp[1 << j][j] = dist_sd[j]
+    for S in range(size):
+        for j in range(k):
+            cur = dp[S][j]
+            if cur == INF or not (S >> j) & 1:
+                continue
+            for nxt in range(k):
+                if (S >> nxt) & 1:
+                    continue
+                S2 = S | (1 << nxt)
+                cand = cur + dist[j][nxt]
+                if cand < dp[S2][nxt]:
+                    dp[S2][nxt] = cand
+    return int(min(dp[size - 1]))
+
+
+def held_karp_closed_walk_cost(topology: Topology, source: Node, dests) -> int:
+    """Shortest closed multicast walk (returning to the source): the
+    Held-Karp lower bound for the OMC problem."""
+    dests = list(dests)
+    k = len(dests)
+    if k == 0:
+        return 0
+    dist_sd = [topology.distance(source, d) for d in dests]
+    dist = [[topology.distance(a, b) for b in dests] for a in dests]
+    size = 1 << k
+    INF = float("inf")
+    dp = [[INF] * k for _ in range(size)]
+    for j in range(k):
+        dp[1 << j][j] = dist_sd[j]
+    for S in range(size):
+        for j in range(k):
+            cur = dp[S][j]
+            if cur == INF or not (S >> j) & 1:
+                continue
+            for nxt in range(k):
+                if (S >> nxt) & 1:
+                    continue
+                S2 = S | (1 << nxt)
+                cand = cur + dist[j][nxt]
+                if cand < dp[S2][nxt]:
+                    dp[S2][nxt] = cand
+    return int(min(dp[size - 1][j] + dist_sd[j] for j in range(k)))
+
+
+def optimal_multicast_path(
+    request: MulticastRequest, budget: int = 2_000_000
+) -> MulticastPath:
+    """Exact OMP by depth-first branch and bound over simple paths.
+
+    Prunes a partial path when its length plus an admissible completion
+    bound cannot beat the incumbent (seeded by the sorted MP heuristic's
+    Held-Karp walk bound).  Raises :class:`SearchBudgetExceeded` beyond
+    ``budget`` expansions — the practical face of Theorem 4.2.
+    """
+    topo = request.topology
+    dest_set = frozenset(request.destinations)
+    best_nodes, best_cost = _bnb_path(
+        topo, request.source, dest_set, budget, require_return=False
+    )
+    path = MulticastPath(topo, tuple(best_nodes))
+    path.validate(request)
+    return path
+
+
+def optimal_multicast_cycle(
+    request: MulticastRequest, budget: int = 2_000_000
+) -> MulticastCycle:
+    """Exact OMC by branch and bound over simple cycles through the
+    source (Def. 3.2)."""
+    topo = request.topology
+    dest_set = frozenset(request.destinations)
+    best_nodes, best_cost = _bnb_path(
+        topo, request.source, dest_set, budget, require_return=True
+    )
+    cycle = MulticastCycle(topo, tuple(best_nodes))
+    cycle.validate(request)
+    return cycle
+
+
+def _bnb_path(topo, source, dest_set, budget, require_return):
+    expansions = 0
+    best_cost = float("inf")
+    best_nodes: list | None = None
+    path = [source]
+    on_path = {source}
+
+    def bound(cur, remaining) -> int:
+        if not remaining:
+            return topo.distance(cur, source) if require_return else 0
+        far = max(topo.distance(cur, d) for d in remaining)
+        if require_return:
+            far = max(
+                far,
+                max(topo.distance(cur, d) + topo.distance(d, source) for d in remaining),
+            )
+        return far
+
+    def dfs(cur, remaining):
+        nonlocal expansions, best_cost, best_nodes
+        expansions += 1
+        if expansions > budget:
+            raise SearchBudgetExceeded(f"exceeded {budget} expansions")
+        if not remaining:
+            total = len(path) - 1
+            if not require_return:
+                if total < best_cost:
+                    best_cost = total
+                    best_nodes = list(path)
+                return
+            if topo.are_adjacent(cur, source):
+                if total + 1 < best_cost:
+                    best_cost = total + 1
+                    best_nodes = list(path)
+                return  # any extension before closing is strictly longer
+            # destinations covered but cycle not closable yet: extend
+        cost_so_far = len(path) - 1
+        if cost_so_far + bound(cur, remaining) >= best_cost:
+            return
+        # order neighbors by distance to the nearest remaining target
+        targets = remaining if remaining else {source}
+        nbrs = sorted(
+            (n for n in topo.neighbors(cur) if n not in on_path),
+            key=lambda n: min(topo.distance(n, d) for d in targets),
+        )
+        for n in nbrs:
+            path.append(n)
+            on_path.add(n)
+            dfs(n, remaining - {n} if n in remaining else remaining)
+            on_path.remove(n)
+            path.pop()
+
+    dfs(source, set(dest_set))
+    if best_nodes is None:
+        raise InfeasibleRoute(
+            "no simple multicast path/cycle covers the destinations"
+        )
+    return best_nodes, best_cost

@@ -1,0 +1,63 @@
+"""Exact optimal multicast star (Def. 3.5; NP-complete by
+Theorems 4.3/4.7).
+
+A star is a partition of the destinations into groups, each served by a
+multicast path from the source.  The solver combines exact OMP costs
+per group (branch and bound) with a dynamic program over destination
+subsets.  Strictly for small instances.
+"""
+
+from __future__ import annotations
+
+from ..models.request import MulticastRequest
+from .omp import InfeasibleRoute, optimal_multicast_path
+
+
+def optimal_multicast_star_cost(
+    request: MulticastRequest, budget_per_group: int = 500_000
+) -> int:
+    """Minimal total length over all multicast stars for the request."""
+    topo = request.topology
+    dests = list(request.destinations)
+    k = len(dests)
+    size = 1 << k
+
+    def group(S: int) -> tuple:
+        return tuple(dests[j] for j in range(k) if (S >> j) & 1)
+
+    # Exact OMP cost per nonempty subset (infinite when no simple path
+    # from the source can cover the group).
+    INF_COST = float("inf")
+    path_cost: list = [0] * size
+    for S in range(1, size):
+        sub_request = MulticastRequest(topo, request.source, group(S))
+        try:
+            path_cost[S] = optimal_multicast_path(
+                sub_request, budget=budget_per_group
+            ).traffic
+        except InfeasibleRoute:
+            path_cost[S] = INF_COST
+
+    INF = float("inf")
+    dp = [INF] * size
+    dp[0] = 0
+    for S in range(1, size):
+        # iterate sub-groups containing the lowest set bit of S to avoid
+        # double-counting partitions
+        low = S & (-S)
+        sub = S
+        while sub:
+            if sub & low:
+                c = path_cost[sub] + dp[S ^ sub]
+                if c < dp[S]:
+                    dp[S] = c
+            sub = (sub - 1) & S
+    return int(dp[size - 1])
+
+
+def star_lower_bound(request: MulticastRequest) -> int:
+    """A cheap certified lower bound on any star's total length: at
+    least one transmission per destination, and the farthest destination
+    costs at least its distance on whichever path serves it."""
+    far = max(request.topology.distance(request.source, d) for d in request.destinations)
+    return max(request.k, far)

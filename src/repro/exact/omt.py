@@ -1,0 +1,77 @@
+"""Exact optimal multicast tree (Def. 3.4): the fewest-edge tree
+delivering every destination over a shortest path.
+
+A minimal OMT lives inside the shortest-path DAG rooted at the source
+(every tree path of length d_G(u0, ui) must increase the BFS distance
+at each step), so the problem is a minimum directed Steiner
+arborescence on that DAG — solved here by the subset dynamic program,
+processing nodes in decreasing distance from the source.  NP-complete
+for hypercubes [Choi & Esfahanian 1990]; open for 2D meshes (§4.3) —
+either way this exact solver is exponential in k.
+"""
+
+from __future__ import annotations
+
+from ..models.request import MulticastRequest
+from ..topology.base import Node, Topology
+
+
+def shortest_path_dag(topology: Topology, source: Node) -> dict:
+    """Arcs of the shortest-path DAG from ``source``:
+    ``u -> v`` iff u, v adjacent and d(source, v) = d(source, u) + 1."""
+    dag: dict = {}
+    for u in topology.nodes():
+        du = topology.distance(source, u)
+        dag[u] = [v for v in topology.neighbors(u) if topology.distance(source, v) == du + 1]
+    return dag
+
+
+def optimal_multicast_tree_cost(request: MulticastRequest) -> int:
+    """Number of edges of an optimal multicast tree for the request."""
+    topo = request.topology
+    source = request.source
+    terminals = list(request.destinations)
+    k = len(terminals)
+    term_bit = {t: 1 << j for j, t in enumerate(terminals)}
+    size = 1 << k
+    INF = float("inf")
+
+    dag = shortest_path_dag(topo, source)
+    # nodes ordered by decreasing distance from the source so that the
+    # arc extension dp[v][S] <- 1 + dp[w][S] is processed after dp[w].
+    order = sorted(topo.nodes(), key=lambda v: -topo.distance(source, v))
+    idx = {v: i for i, v in enumerate(order)}
+    n = len(order)
+
+    dp = [[INF] * size for _ in range(n)]
+    for i, v in enumerate(order):
+        dp[i][0] = 0
+        if v in term_bit:
+            dp[i][term_bit[v]] = 0
+
+    for S in range(1, size):
+        for i, v in enumerate(order):
+            best = dp[i][S]
+            # absorb v itself if it is a terminal of S
+            if v in term_bit and S & term_bit[v]:
+                c = dp[i][S & ~term_bit[v]]
+                if c < best:
+                    best = c
+            # split S at v
+            sub = (S - 1) & S
+            while sub:
+                c = dp[i][sub] + dp[i][S ^ sub]
+                if c < best:
+                    best = c
+                sub = (sub - 1) & S
+            # extend with one DAG arc (children are earlier in `order`)
+            for w in dag[v]:
+                c = 1 + dp[idx[w]][S]
+                if c < best:
+                    best = c
+            dp[i][S] = best
+
+    result = dp[idx[source]][size - 1]
+    if result == INF:
+        raise RuntimeError("OMT infeasible (should not happen on connected hosts)")
+    return int(result)

@@ -1,0 +1,67 @@
+"""Exact minimal Steiner tree via the Dreyfus-Wagner dynamic program
+(Def. 3.3; NP-complete by Theorems 4.4/4.8).
+
+``dp[S][v]`` is the minimal length of a tree spanning terminal subset
+``S`` plus node ``v``; subsets are combined by merging at ``v`` and
+then relaxed over graph edges with a BFS-flavoured Dijkstra (all links
+have unit weight).  Exponential in the number of terminals, polynomial
+in the network size — fine for optimality-gap measurements on small
+multicast sets.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+from ..models.request import MulticastRequest
+from ..topology.base import Topology
+
+
+def minimal_steiner_tree_cost(request: MulticastRequest) -> int:
+    """Length of a minimal Steiner tree for the multicast set K."""
+    topo = request.topology
+    terminals = list(request.destinations)
+    root = request.source
+    k = len(terminals)
+    if k == 0:
+        return 0
+    n = topo.num_nodes
+    INF = float("inf")
+    size = 1 << k
+
+    # dp[S] is an array over node indices.
+    dp = [[INF] * n for _ in range(size)]
+    for j, t in enumerate(terminals):
+        row = dp[1 << j]
+        ti = topo.index(t)
+        for v in range(n):
+            row[v] = topo.distance(t, topo.node_at(v))
+        row[ti] = 0
+
+    for S in range(1, size):
+        row = dp[S]
+        # merge sub-subsets at every node
+        sub = (S - 1) & S
+        while sub:
+            comp = S ^ sub
+            if sub < comp:  # each unordered pair once
+                a, b = dp[sub], dp[comp]
+                for v in range(n):
+                    c = a[v] + b[v]
+                    if c < row[v]:
+                        row[v] = c
+            sub = (sub - 1) & S
+        # Dijkstra relaxation over unit-weight links
+        heap = [(c, v) for v, c in enumerate(row) if c < INF]
+        heapify(heap)
+        while heap:
+            c, v = heappop(heap)
+            if c > row[v]:
+                continue
+            for w in topo.neighbors(topo.node_at(v)):
+                wi = topo.index(w)
+                if c + 1 < row[wi]:
+                    row[wi] = c + 1
+                    heappush(heap, (c + 1, wi))
+
+    return int(dp[size - 1][topo.index(root)])

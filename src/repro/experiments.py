@@ -1,0 +1,290 @@
+"""Programmatic regeneration of the dissertation's experiments.
+
+Each function reproduces one figure of Chapter 7 (or a Chapter 2/6
+artifact) and returns an :class:`ExperimentResult` — the series the
+paper plots, as data.  The benchmark suite drives these same sweeps
+with assertions; this module is the library face, so downstream users
+can rerun any experiment at any scale::
+
+    from repro.experiments import fig_7_9
+    result = fig_7_9(messages_per_point=500)
+    print(result.as_table())
+
+or from the command line::
+
+    python -m repro reproduce fig7.9 --scale 1.0
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable
+
+from .heuristics import (
+    broadcast_route,
+    divided_greedy_route,
+    greedy_st_route,
+    len_route,
+    multiple_unicast_route,
+    sorted_mp_route,
+    xfirst_route,
+)
+from .models import random_multicast
+from .sim import SimConfig, run_dynamic
+from .topology import Hypercube, Mesh2D
+from .wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated figure: labelled columns over a swept parameter."""
+
+    experiment: str
+    description: str
+    parameter: str
+    columns: tuple
+    rows: tuple  # tuple of (param_value, v1, v2, ...)
+
+    def series(self, column: str) -> list:
+        """One column as a list aligned with the parameter sweep."""
+        i = self.columns.index(column) + 1
+        return [row[i] for row in self.rows]
+
+    def as_table(self) -> str:
+        header = [self.parameter, *self.columns]
+        widths = [
+            max(len(str(h)), *(len(_fmt(r[i])) for r in self.rows))
+            for i, h in enumerate(header)
+        ]
+        lines = [self.description, ""]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    return f"{v:.2f}" if isinstance(v, float) else str(v)
+
+
+def _static_sweep(topology, algorithms, ks, runs_per_point, seed=10_000):
+    rows = []
+    for k in ks:
+        runs = max(3, runs_per_point * 10 // max(10, k))
+        rng = random.Random(seed + k)
+        requests = [random_multicast(topology, k, rng) for _ in range(runs)]
+        row = [k]
+        for algo in algorithms.values():
+            row.append(mean(algo(r).traffic - k for r in requests))
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+def _dynamic_sweep(topology, schemes, param_name, values, cfg_for, messages):
+    rows = []
+    for value in values:
+        cfg = cfg_for(value).replace(num_messages=messages)
+        row = [value]
+        for scheme in schemes:
+            row.append(run_dynamic(topology, scheme, cfg).mean_latency * 1e6)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+# ----------------------------------------------------------------------
+# Static study (Figs. 7.1-7.7)
+# ----------------------------------------------------------------------
+
+
+def fig_7_1(runs_per_point: int = 30) -> ExperimentResult:
+    """Sorted MP vs baselines on a 32x32 mesh (additional traffic)."""
+    algos = {
+        "sorted-MP": sorted_mp_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return ExperimentResult(
+        "fig7.1", "Fig 7.1: additional traffic, 32x32 mesh", "k",
+        tuple(algos), _static_sweep(Mesh2D(32, 32), algos, (10, 50, 100, 200, 400, 600, 900), runs_per_point),
+    )
+
+
+def fig_7_2(runs_per_point: int = 30) -> ExperimentResult:
+    """Sorted MP vs baselines on a 10-cube."""
+    algos = {
+        "sorted-MP": sorted_mp_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return ExperimentResult(
+        "fig7.2", "Fig 7.2: additional traffic, 10-cube", "k",
+        tuple(algos), _static_sweep(Hypercube(10), algos, (10, 50, 100, 200, 400, 600, 900), runs_per_point),
+    )
+
+
+def fig_7_3(runs_per_point: int = 20) -> ExperimentResult:
+    """Greedy ST vs baselines on a 32x32 mesh."""
+    algos = {
+        "greedy-ST": greedy_st_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return ExperimentResult(
+        "fig7.3", "Fig 7.3: additional traffic, 32x32 mesh", "k",
+        tuple(algos), _static_sweep(Mesh2D(32, 32), algos, (10, 50, 100, 200, 400, 700), runs_per_point),
+    )
+
+
+def fig_7_4(runs_per_point: int = 20) -> ExperimentResult:
+    """Greedy ST vs LEN on a 10-cube."""
+    algos = {
+        "greedy-ST": greedy_st_route,
+        "LEN": len_route,
+        "multi-unicast": multiple_unicast_route,
+    }
+    return ExperimentResult(
+        "fig7.4", "Fig 7.4: additional traffic, 10-cube (vs LEN)", "k",
+        tuple(algos), _static_sweep(Hypercube(10), algos, (10, 50, 100, 200, 400, 700), runs_per_point),
+    )
+
+
+def fig_7_5(runs_per_point: int = 40) -> ExperimentResult:
+    """X-first and divided greedy MT on a 16x16 mesh."""
+    algos = {
+        "divided-greedy": divided_greedy_route,
+        "X-first": xfirst_route,
+        "multi-unicast": multiple_unicast_route,
+        "broadcast": broadcast_route,
+    }
+    return ExperimentResult(
+        "fig7.5", "Fig 7.5: additional traffic, 16x16 mesh (MT model)", "k",
+        tuple(algos), _static_sweep(Mesh2D(16, 16), algos, (5, 10, 25, 50, 100, 180), runs_per_point),
+    )
+
+
+def fig_7_6(runs_per_point: int = 60) -> ExperimentResult:
+    """Multicast star methods on a 6-cube."""
+    algos = {
+        "multi-path": multi_path_route,
+        "dual-path": dual_path_route,
+        "fixed-path": fixed_path_route,
+    }
+    return ExperimentResult(
+        "fig7.6", "Fig 7.6: additional traffic, 6-cube (star methods)", "k",
+        tuple(algos), _static_sweep(Hypercube(6), algos, (2, 5, 10, 20, 35, 50), runs_per_point),
+    )
+
+
+def fig_7_7(runs_per_point: int = 60) -> ExperimentResult:
+    """Multicast star methods on an 8x8 mesh."""
+    algos = {
+        "multi-path": multi_path_route,
+        "dual-path": dual_path_route,
+        "fixed-path": fixed_path_route,
+    }
+    return ExperimentResult(
+        "fig7.7", "Fig 7.7: additional traffic, 8x8 mesh (star methods)", "k",
+        tuple(algos), _static_sweep(Mesh2D(8, 8), algos, (2, 5, 10, 20, 35, 50), runs_per_point),
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic study (Figs. 7.8-7.11)
+# ----------------------------------------------------------------------
+
+
+def fig_7_8(messages_per_point: int = 400) -> ExperimentResult:
+    """Latency vs load on a double-channel 8x8 mesh (tree vs paths)."""
+    schemes = ("tree-xfirst", "dual-path", "multi-path")
+    rows = _dynamic_sweep(
+        Mesh2D(8, 8), schemes, "interarrival_us",
+        (2000, 1000, 500, 300, 200, 150),
+        lambda ia: SimConfig(
+            num_destinations=10, mean_interarrival=ia * 1e-6,
+            channels_per_link=2, seed=42,
+        ),
+        messages_per_point,
+    )
+    return ExperimentResult(
+        "fig7.8", "Fig 7.8: latency (us) vs load, double-channel 8x8 mesh",
+        "interarrival_us", schemes, rows,
+    )
+
+
+def fig_7_9(messages_per_point: int = 400) -> ExperimentResult:
+    """Latency vs destination count on a double-channel 8x8 mesh."""
+    schemes = ("tree-xfirst", "dual-path", "multi-path")
+    rows = _dynamic_sweep(
+        Mesh2D(8, 8), schemes, "k", (1, 5, 10, 20, 30, 45),
+        lambda k: SimConfig(
+            num_destinations=k, mean_interarrival=300e-6,
+            channels_per_link=2, seed=42,
+        ),
+        messages_per_point,
+    )
+    return ExperimentResult(
+        "fig7.9", "Fig 7.9: latency (us) vs destinations, double-channel 8x8 mesh",
+        "k", schemes, rows,
+    )
+
+
+def fig_7_10(messages_per_point: int = 400) -> ExperimentResult:
+    """Latency vs load on a single-channel 8x8 mesh (dual vs multi)."""
+    schemes = ("dual-path", "multi-path")
+    rows = _dynamic_sweep(
+        Mesh2D(8, 8), schemes, "interarrival_us",
+        (2000, 1000, 500, 300, 200, 150),
+        lambda ia: SimConfig(
+            num_destinations=10, mean_interarrival=ia * 1e-6, seed=42
+        ),
+        messages_per_point,
+    )
+    return ExperimentResult(
+        "fig7.10", "Fig 7.10: latency (us) vs load, single-channel 8x8 mesh",
+        "interarrival_us", schemes, rows,
+    )
+
+
+def fig_7_11(messages_per_point: int = 400) -> ExperimentResult:
+    """Latency vs destination count under load (the hot-spot figure)."""
+    schemes = ("dual-path", "multi-path", "fixed-path")
+    rows = _dynamic_sweep(
+        Mesh2D(8, 8), schemes, "k", (5, 15, 30, 45),
+        lambda k: SimConfig(
+            num_destinations=k, mean_interarrival=400e-6, seed=42
+        ),
+        messages_per_point,
+    )
+    return ExperimentResult(
+        "fig7.11", "Fig 7.11: latency (us) vs destinations, single-channel 8x8 mesh",
+        "k", schemes, rows,
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig7.1": fig_7_1,
+    "fig7.2": fig_7_2,
+    "fig7.3": fig_7_3,
+    "fig7.4": fig_7_4,
+    "fig7.5": fig_7_5,
+    "fig7.6": fig_7_6,
+    "fig7.7": fig_7_7,
+    "fig7.8": fig_7_8,
+    "fig7.9": fig_7_9,
+    "fig7.10": fig_7_10,
+    "fig7.11": fig_7_11,
+}
+
+
+def reproduce(name: str, scale: float = 1.0) -> ExperimentResult:
+    """Regenerate one experiment by name, scaling replication."""
+    fn = EXPERIMENTS.get(name)
+    if fn is None:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    import inspect
+
+    param = next(iter(inspect.signature(fn).parameters.values()))
+    return fn(max(3, int(param.default * scale)))

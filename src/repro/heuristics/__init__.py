@@ -1,0 +1,41 @@
+"""Basic heuristic multicast routing algorithms (Ch. 5) and baselines."""
+
+from .baselines import broadcast_route, multiple_unicast_route
+from .divided_greedy import divided_greedy_route, divided_greedy_step
+from .greedy_st import (
+    build_virtual_tree,
+    greedy_st_prepare,
+    greedy_st_route,
+    nearest_on_shortest_paths,
+    virtual_tree_length,
+)
+from .kmb import kmb_route
+from .len_tree import len_route, len_step
+from .sorted_mp import (
+    sorted_mc_route,
+    sorted_mp_next_hop,
+    sorted_mp_prepare,
+    sorted_mp_route,
+)
+from .xfirst import xfirst_route, xfirst_step
+
+__all__ = [
+    "broadcast_route",
+    "build_virtual_tree",
+    "divided_greedy_route",
+    "divided_greedy_step",
+    "greedy_st_prepare",
+    "greedy_st_route",
+    "kmb_route",
+    "len_route",
+    "len_step",
+    "multiple_unicast_route",
+    "nearest_on_shortest_paths",
+    "sorted_mc_route",
+    "sorted_mp_next_hop",
+    "sorted_mp_prepare",
+    "sorted_mp_route",
+    "virtual_tree_length",
+    "xfirst_route",
+    "xfirst_step",
+]

@@ -1,0 +1,169 @@
+"""The greedy ST heuristic routing algorithm (§5.2, Figs. 5.3-5.4).
+
+The source sorts the destinations by distance and constructs a *virtual*
+Steiner tree: each destination in turn attaches to the nearest node
+lying on any shortest path between the endpoints of an existing tree
+edge (computable in O(1) in meshes — bounding-rectangle projection —
+and hypercubes — subcube projection).  Virtual edges are realised as
+deterministic dimension-ordered shortest paths; replicate nodes rerun
+the construction on their destination sublists, bypass nodes merely
+forward.  The resulting traffic is the total virtual tree length, at
+least as good as the KMB algorithm's in the worst case (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Sequence
+
+from ..models.request import MulticastRequest
+from ..models.results import MulticastTree
+from ..topology.base import Node, Topology
+from ..topology.hypercube import Hypercube
+from ..topology.mesh import Mesh2D, Mesh3D
+
+
+def nearest_on_shortest_paths(topology: Topology, s: Node, t: Node, target: Node) -> Node:
+    """The node nearest to ``target`` among all nodes on shortest paths
+    between ``s`` and ``t`` (step 4a of Fig. 5.4).
+
+    In a mesh the shortest-path region is the bounding box of s and t
+    and the nearest node is the coordinatewise clamp of ``target``; in a
+    hypercube it is the subcube fixing the bits where s and t agree.
+    """
+    if isinstance(topology, Hypercube):
+        return topology.subcube_projection(target, s, t)
+    if isinstance(topology, (Mesh2D, Mesh3D)):
+        return tuple(
+            min(max(c, min(a, b)), max(a, b)) for c, a, b in zip(target, s, t)
+        )
+    raise TypeError(f"no O(1) shortest-path projection for {topology!r}")
+
+
+def build_virtual_tree(
+    topology: Topology, root: Node, dests: Sequence[Node]
+) -> list[tuple[Node, Node]]:
+    """Steps 3-4 of Fig. 5.4: greedily grow the virtual Steiner tree by
+    attaching each destination (in list order) at its nearest point on
+    an existing virtual edge.  Returns the virtual edge list E(T)."""
+    if not dests:
+        return []
+    edges: list[tuple[Node, Node]] = [(root, dests[0])]
+    for u_i in dests[1:]:
+        if any(u_i in e for e in edges):
+            continue
+        best_v: Node | None = None
+        best_edge = None
+        best_d = None
+        for e in edges:
+            s, t = e
+            v = nearest_on_shortest_paths(topology, s, t, u_i)
+            d = topology.distance(u_i, v)
+            if best_d is None or d < best_d:
+                best_v, best_edge, best_d = v, e, d
+        assert best_v is not None and best_edge is not None
+        s, t = best_edge
+        if best_v != s and best_v != t:
+            edges.remove(best_edge)
+            edges.append((s, best_v))
+            edges.append((best_v, t))
+        if u_i != best_v:
+            edges.append((best_v, u_i))
+    return edges
+
+
+def _subtree_partition(
+    edges: Sequence[tuple[Node, Node]], root: Node
+) -> list[tuple[Node, set]]:
+    """Step 5 of Fig. 5.4: the root's sons in the virtual tree, each with
+    the set of nodes of its subtree."""
+    adj = defaultdict(list)
+    for s, t in edges:
+        adj[s].append(t)
+        adj[t].append(s)
+    sons = []
+    for r in adj[root]:
+        members = {r}
+        frontier = deque([r])
+        while frontier:
+            v = frontier.popleft()
+            for w in adj[v]:
+                if w != root and w not in members:
+                    members.add(w)
+                    frontier.append(w)
+        sons.append((r, members))
+    return sons
+
+
+def greedy_st_prepare(request: MulticastRequest) -> list[Node]:
+    """Message preparation (Fig. 5.3): multicast node list headed by the
+    source, destinations sorted ascending by distance from it."""
+    u0 = request.source
+    topo = request.topology
+    return [u0] + sorted(
+        request.destinations, key=lambda v: (topo.distance(u0, v), topo.index(v))
+    )
+
+
+def greedy_st_route(request: MulticastRequest, resort: bool = False) -> MulticastTree:
+    """Drive the distributed greedy ST algorithm (Fig. 5.4) over the
+    network and return the realised multicast tree.
+
+    ``virtual_edges`` on the result records the source's virtual Steiner
+    tree; ``traffic`` counts actual link transmissions.
+
+    The paper's message-preparation sort happens once, at the source;
+    replicate nodes receive their sublists in the source's order
+    (Fig. 5.4 takes the input list as given).  With ``resort=True``
+    every replicate node re-sorts its sublist by distance from itself
+    before rebuilding the subtree — a natural strengthening the
+    ablation benchmark measures.
+    """
+    topo = request.topology
+    dest_set = set(request.destinations)
+    arcs: list[tuple[Node, Node]] = []
+    delivered: set = set()
+    root_virtual: tuple = ()
+
+    # Work queue of in-flight messages: (current node, destination list).
+    pending = deque([(request.source, greedy_st_prepare(request))])
+    first = True
+    while pending:
+        w, dlist = pending.popleft()
+        u = dlist[0]
+        if w != u:
+            # Bypass node: forward one hop along the deterministic
+            # shortest path toward the head node u (step 1).
+            nxt = topo.dimension_ordered_path(w, u)[1]
+            arcs.append((w, nxt))
+            pending.append((nxt, dlist))
+            continue
+        # w == u: deliver the local copy if this node is a destination.
+        if w in dest_set:
+            delivered.add(w)
+        rest = dlist[1:]
+        if not rest:
+            continue  # leaf (step 2)
+        if resort:
+            rest = sorted(rest, key=lambda v: (topo.distance(u, v), topo.index(v)))
+        edges = build_virtual_tree(topo, u, rest)
+        if first:
+            root_virtual = tuple(edges)
+            first = False
+        for son, members in _subtree_partition(edges, u):
+            sublist = [son] + [d for d in rest if d in members and d != son]
+            nxt = topo.dimension_ordered_path(u, son)[1]
+            arcs.append((u, nxt))
+            pending.append((nxt, sublist))
+
+    tree = MulticastTree(topo, request.source, tuple(arcs), virtual_edges=root_virtual)
+    missing = dest_set - delivered
+    if missing:
+        raise RuntimeError(f"greedy ST failed to deliver to {missing}")
+    tree.validate(request)
+    return tree
+
+
+def virtual_tree_length(topology: Topology, edges: Sequence[tuple[Node, Node]]) -> int:
+    """Total realised length of a virtual tree (its traffic)."""
+    return sum(topology.distance(s, t) for s, t in edges)

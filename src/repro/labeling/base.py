@@ -1,0 +1,197 @@
+"""Node labelings based on Hamiltonian paths (§6.2.2, §6.3).
+
+Every deadlock-free path-based routing scheme of Chapter 6 rests on an
+assignment ``l`` of labels ``0..N-1`` to nodes following a Hamiltonian
+path of the host graph.  The labeling partitions the directed channels
+into the *high-channel* subnetwork (channels from lower to higher
+labels) and the *low-channel* subnetwork (higher to lower); each
+subnetwork is acyclic, which is what makes the routing deadlock-free.
+
+The routing function ``R`` (§6.2.2):
+
+    R(u, v) = w, a neighbor of u, with
+      l(w) = max{ l(p) : l(p) <= l(v), p adjacent to u }   if l(u) < l(v)
+      l(w) = min{ l(p) : l(p) >= l(v), p adjacent to u }   if l(u) > l(v)
+
+For the labelings shipped here (boustrophedon mesh labeling, reflected-
+Gray-code hypercube labeling) the path selected by R is a *shortest*
+path (Lemmas 6.1 and 6.4); for an arbitrary Hamiltonian labeling R still
+terminates but may take detours (compare Fig. 6.10 — see
+``repro.labeling.mesh.SpiralMeshLabeling`` for the ablation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..topology.base import Node, Topology
+
+
+class Labeling(ABC):
+    """A bijective node labeling ``l: V -> {0..N-1}`` along a Hamiltonian
+    path of a topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abstractmethod
+    def label(self, v: Node) -> int:
+        """The label ``l(v)``."""
+
+    @abstractmethod
+    def node_of(self, label: int) -> Node:
+        """Inverse of :meth:`label`."""
+
+    # ------------------------------------------------------------------
+    # Derived structure.
+    # ------------------------------------------------------------------
+
+    def hamiltonian_path(self) -> list[Node]:
+        """The underlying Hamiltonian path, in label order."""
+        return [self.node_of(i) for i in range(self.topology.num_nodes)]
+
+    def is_hamiltonian(self) -> bool:
+        """Whether consecutive labels are adjacent in the topology (the
+        defining property of a Hamiltonian-path labeling)."""
+        path = self.hamiltonian_path()
+        return all(self.topology.are_adjacent(a, b) for a, b in zip(path, path[1:]))
+
+    def high_neighbors(self, u: Node) -> list[Node]:
+        """Neighbors of ``u`` with a higher label, in ascending label order."""
+        return sorted(
+            (p for p in self.topology.neighbors(u) if self.label(p) > self.label(u)),
+            key=self.label,
+        )
+
+    def low_neighbors(self, u: Node) -> list[Node]:
+        """Neighbors of ``u`` with a lower label, in descending label order."""
+        return sorted(
+            (p for p in self.topology.neighbors(u) if self.label(p) < self.label(u)),
+            key=self.label,
+            reverse=True,
+        )
+
+    def high_channels(self) -> list[tuple[Node, Node]]:
+        """Directed channels of the high-channel subnetwork."""
+        return [
+            (u, v) for u, v in self.topology.channels() if self.label(u) < self.label(v)
+        ]
+
+    def low_channels(self) -> list[tuple[Node, Node]]:
+        """Directed channels of the low-channel subnetwork."""
+        return [
+            (u, v) for u, v in self.topology.channels() if self.label(u) > self.label(v)
+        ]
+
+    # ------------------------------------------------------------------
+    # The routing function R.
+    # ------------------------------------------------------------------
+
+    def route_candidates(self, u: Node, v: Node) -> list[Node]:
+        """All admissible next hops from ``u`` toward ``v``, best first.
+
+        Admissible means label-monotone (staying inside the current
+        high/low subnetwork, preserving deadlock freedom) and bounded by
+        ``l(v)``; profitable (distance-reducing) candidates are
+        preferred and ordered by R's max/min-label rule, with the
+        unrestricted monotone candidates as fallback.  ``route_step``
+        returns the first entry; the adaptive wormhole router (§8.2)
+        may take any entry whose channel is free.
+        """
+        if u == v:
+            raise ValueError("routing is undefined for u == v")
+        lu, lv = self.label(u), self.label(v)
+        d_uv = self.topology.distance(u, v)
+        if lu < lv:
+            profitable = sorted(
+                (
+                    p
+                    for p in self.topology.neighbors(u)
+                    if lu < self.label(p) <= lv
+                    and self.topology.distance(p, v) < d_uv
+                ),
+                key=self.label,
+                reverse=True,
+            )
+            if profitable:
+                return profitable
+            return [
+                max(
+                    (p for p in self.topology.neighbors(u) if self.label(p) <= lv),
+                    key=self.label,
+                )
+            ]
+        profitable = sorted(
+            (
+                p
+                for p in self.topology.neighbors(u)
+                if lv <= self.label(p) < lu and self.topology.distance(p, v) < d_uv
+            ),
+            key=self.label,
+        )
+        if profitable:
+            return profitable
+        return [
+            min(
+                (p for p in self.topology.neighbors(u) if self.label(p) >= lv),
+                key=self.label,
+            )
+        ]
+
+    def monotone_candidates(self, u: Node, v: Node) -> list[Node]:
+        """Every label-monotone neighbor bounded by ``l(v)`` — the full
+        set of hops that keep a message inside its subnetwork and short
+        of overshooting the target.  Superset of
+        :meth:`route_candidates`; any choice still terminates (labels
+        strictly approach ``l(v)``), so this is the last-resort pool for
+        fault avoidance."""
+        if u == v:
+            raise ValueError("routing is undefined for u == v")
+        lu, lv = self.label(u), self.label(v)
+        if lu < lv:
+            return sorted(
+                (p for p in self.topology.neighbors(u) if lu < self.label(p) <= lv),
+                key=self.label,
+                reverse=True,
+            )
+        return sorted(
+            (p for p in self.topology.neighbors(u) if lv <= self.label(p) < lu),
+            key=self.label,
+        )
+
+    def route_step(self, u: Node, v: Node) -> Node:
+        """``R(u, v)``: the next hop from ``u`` toward ``v``.
+
+        Candidates are restricted to *profitable* neighbors — those on a
+        shortest path toward ``v`` — which is the reading under which
+        the shortest-path claims of Lemmas 6.1 and 6.4 hold (their
+        proofs only ever advance through neighbors that reduce the
+        distance to ``v``; the unrestricted max-label rule takes detours
+        on hypercubes, e.g. 000 -> 101 under the Gray labeling).  If no
+        profitable neighbor satisfies the label bound — possible for
+        non-canonical labelings such as the spiral ablation labeling —
+        the rule falls back to the unrestricted candidates, trading
+        shortest paths for guaranteed label-monotone progress.
+
+        Raises ``ValueError`` for ``u == v``.
+        """
+        return self.route_candidates(u, v)[0]
+
+    def route_path(self, u: Node, v: Node) -> list[Node]:
+        """The full path ``(u, ..., v)`` selected by repeatedly applying R.
+
+        For the canonical labelings this is a shortest path that is
+        monotone in label (partial-order preserving; Lemmas 6.1/6.4).
+        """
+        path = [u]
+        cur = u
+        limit = self.topology.num_nodes
+        while cur != v:
+            cur = self.route_step(cur, v)
+            path.append(cur)
+            if len(path) > limit:
+                raise RuntimeError(
+                    "routing function R failed to converge; labeling is "
+                    "probably not Hamiltonian"
+                )
+        return path

@@ -1,0 +1,70 @@
+"""Hamilton-cycle position mappings used by the sorted MP/MC algorithm
+(§5.1, Tables 5.1-5.4).
+
+Given a Hamilton cycle ``C = (v_1, ..., v_m, v_1)`` of the host graph,
+the mapping ``h(v_i) = i`` gives each node its (1-based) position in the
+cycle, and for a multicast with source ``u_0`` the sorting key
+
+    f(x) = h(x) + m   if h(x) < h(u_0)
+    f(x) = h(x)       otherwise
+
+is the position of ``x`` along the cycle *starting from* ``u_0``.  The
+sorted MP algorithm sorts destinations by f and the routing step always
+moves to the neighbor with the largest f not exceeding the next
+destination's f (Theorem 5.1 proves this induces a multicast path).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..topology.base import Node, Topology
+from ..topology.hypercube import Hypercube
+from ..topology.mesh import Mesh2D
+from .hypercube import hypercube_hamiltonian_cycle
+from .mesh import mesh_hamiltonian_cycle
+
+
+class HamiltonCycleMapping:
+    """Position mapping ``h`` (and source-relative key ``f``) of a
+    Hamilton cycle of a topology."""
+
+    def __init__(self, topology: Topology, cycle: Sequence[Node], validate: bool = True):
+        if len(cycle) != topology.num_nodes:
+            raise ValueError("cycle must visit every node exactly once")
+        if len(set(cycle)) != len(cycle):
+            raise ValueError("cycle revisits a node")
+        if validate:
+            closed = list(cycle) + [cycle[0]]
+            for a, b in zip(closed, closed[1:]):
+                if not topology.are_adjacent(a, b):
+                    raise ValueError(f"cycle nodes {a!r}, {b!r} are not adjacent")
+        self.topology = topology
+        self.cycle = list(cycle)
+        self.m = len(cycle)
+        self._h = {v: i + 1 for i, v in enumerate(cycle)}
+
+    def h(self, v: Node) -> int:
+        """1-based position of ``v`` in the cycle."""
+        return self._h[v]
+
+    def f(self, v: Node, source: Node) -> int:
+        """Sorting key: position of ``v`` along the cycle from ``source``."""
+        hv = self._h[v]
+        return hv + self.m if hv < self._h[source] else hv
+
+    def table(self) -> list[tuple[Node, int]]:
+        """``(node, h(node))`` pairs in h order (the layout of
+        Tables 5.1 and 5.3)."""
+        return [(v, i + 1) for i, v in enumerate(self.cycle)]
+
+
+def canonical_cycle(topology: Topology) -> HamiltonCycleMapping:
+    """The canonical Hamilton cycle mapping for a mesh or hypercube."""
+    if isinstance(topology, Mesh2D):
+        return HamiltonCycleMapping(topology, mesh_hamiltonian_cycle(topology), validate=False)
+    if isinstance(topology, Hypercube):
+        return HamiltonCycleMapping(
+            topology, hypercube_hamiltonian_cycle(topology), validate=False
+        )
+    raise TypeError(f"no canonical Hamilton cycle for {topology!r}")

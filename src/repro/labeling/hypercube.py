@@ -1,0 +1,62 @@
+"""Hamiltonian labelings and cycles for hypercubes (§5.1, §6.3).
+
+The label assignment function of §6.3,
+
+    l(d_{n-1} ... d_0) = sum_i (c_i * ~d_i + ~c_i * d_i) * 2^i,
+    c_{n-1} = 0,  c_{n-j} = d_{n-1} XOR ... XOR d_{n-j+1},
+
+is exactly the inverse of the binary reflected Gray code: bit i of
+``l(v)`` is the XOR of bits n-1..i of v, i.e. ``l(v)`` is the integer
+whose Gray code is v.  Consecutive labels therefore differ in exactly
+one address bit — a Hamiltonian path — and the routing function R
+selects shortest paths under it (Lemma 6.4).
+
+The same Gray sequence also provides the Hamilton cycle used by the
+sorted MP/MC algorithm (fact F2; Table 5.3 reproduces it for the
+4-cube).
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Node
+from ..topology.hypercube import Hypercube
+from .base import Labeling
+
+
+def gray_encode(i: int) -> int:
+    """The i-th codeword of the binary reflected Gray code."""
+    return i ^ (i >> 1)
+
+
+def gray_decode(g: int) -> int:
+    """Position of codeword ``g`` in the binary reflected Gray code
+    (the label assignment function l of §6.3)."""
+    value = 0
+    while g:
+        value ^= g
+        g >>= 1
+    return value
+
+
+class GrayCodeLabeling(Labeling):
+    """The shortest-path-preserving Hamiltonian labeling of §6.3."""
+
+    def __init__(self, cube: Hypercube):
+        super().__init__(cube)
+        self.cube = cube
+
+    def label(self, v: Node) -> int:
+        return gray_decode(v)
+
+    def node_of(self, label: int) -> Node:
+        return gray_encode(label)
+
+
+def hypercube_hamiltonian_cycle(cube: Hypercube) -> list[Node]:
+    """The reflected-Gray-code Hamilton cycle of an n-cube (fact F2).
+
+    Returns the open node sequence; consecutive codewords (and the wrap
+    from last to first) differ in one bit.  Reproduces Table 5.3 for the
+    4-cube.
+    """
+    return [gray_encode(i) for i in range(cube.num_nodes)]

@@ -1,0 +1,125 @@
+"""Hamiltonian labelings and cycles for 2D meshes (§5.1, §6.2.2).
+
+Two artifacts:
+
+* :class:`BoustrophedonMeshLabeling` — the label assignment of §6.2.2::
+
+      l(x, y) = y*n + x          if y is even
+      l(x, y) = y*n + n - x - 1  if y is odd        (n = mesh width)
+
+  Under this labeling the routing function R always selects shortest
+  paths (Lemma 6.1).  This is the labeling of Fig. 6.9.
+
+* :func:`mesh_hamiltonian_cycle` — the canonical Hamilton cycle used by
+  the sorted MP/MC algorithm (fact F1; Table 5.1 reproduces it for the
+  4x4 mesh).  Exists whenever at least one side is even.
+
+:class:`SpiralMeshLabeling` is a *valid* Hamiltonian labeling that is
+not shortest-path preserving — the ablation counterpart of the "other
+label assignment" of Fig. 6.10.
+"""
+
+from __future__ import annotations
+
+from ..topology.base import Node
+from ..topology.mesh import Mesh2D
+from .base import Labeling
+
+
+class BoustrophedonMeshLabeling(Labeling):
+    """The shortest-path-preserving Hamiltonian labeling of §6.2.2."""
+
+    def __init__(self, mesh: Mesh2D):
+        super().__init__(mesh)
+        self.mesh = mesh
+
+    def label(self, v: Node) -> int:
+        x, y = v
+        n = self.mesh.width
+        if y % 2 == 0:
+            return y * n + x
+        return y * n + n - x - 1
+
+    def node_of(self, label: int) -> Node:
+        n = self.mesh.width
+        y, r = divmod(label, n)
+        x = r if y % 2 == 0 else n - r - 1
+        return (x, y)
+
+
+class SpiralMeshLabeling(Labeling):
+    """A Hamiltonian labeling following an outside-in spiral.
+
+    Consecutive labels are adjacent (so the partition into high/low
+    channel networks — and hence deadlock freedom — still holds) but the
+    routing function R no longer selects shortest paths.  Used by the
+    labeling ablation benchmark (compare Fig. 6.10's discussion: "the
+    performance of a routing scheme is dependent on the selection of a
+    Hamilton path").
+    """
+
+    def __init__(self, mesh: Mesh2D):
+        super().__init__(mesh)
+        self.mesh = mesh
+        order = _spiral_order(mesh.width, mesh.height)
+        self._label = {v: i for i, v in enumerate(order)}
+        self._node = order
+
+    def label(self, v: Node) -> int:
+        return self._label[v]
+
+    def node_of(self, label: int) -> Node:
+        return self._node[label]
+
+
+def _spiral_order(width: int, height: int) -> list[Node]:
+    """Outside-in spiral traversal of the mesh; a Hamiltonian path."""
+    out: list[Node] = []
+    x0, y0, x1, y1 = 0, 0, width - 1, height - 1
+    while x0 <= x1 and y0 <= y1:
+        for x in range(x0, x1 + 1):
+            out.append((x, y0))
+        for y in range(y0 + 1, y1 + 1):
+            out.append((x1, y))
+        if y1 > y0:
+            for x in range(x1 - 1, x0 - 1, -1):
+                out.append((x, y1))
+        if x1 > x0:
+            for y in range(y1 - 1, y0, -1):
+                out.append((x0, y))
+        x0 += 1
+        y0 += 1
+        x1 -= 1
+        y1 -= 1
+    return out
+
+
+def mesh_hamiltonian_cycle(mesh: Mesh2D) -> list[Node]:
+    """The canonical Hamilton cycle of a 2D mesh (fact F1, §5.1).
+
+    Returns the open node sequence ``(v_1, ..., v_m)``; the cycle closes
+    from ``v_m`` back to ``v_1``.  Requires at least one even side and
+    both sides >= 2 (a bipartite grid with both sides odd has no
+    Hamilton cycle).  For the 4x4 mesh this reproduces Table 5.1.
+    """
+    w, h = mesh.width, mesh.height
+    if w < 2 or h < 2:
+        raise ValueError("mesh sides must be >= 2 for a Hamilton cycle")
+    if h % 2 == 0:
+        return _cycle_height_even(w, h)
+    if w % 2 == 0:
+        return [(x, y) for (y, x) in _cycle_height_even(h, w)]
+    raise ValueError("an odd x odd mesh has no Hamilton cycle")
+
+
+def _cycle_height_even(w: int, h: int) -> list[Node]:
+    """Hamilton cycle construction for even height: row 0 rightward, a
+    boustrophedon through columns 1..w-1, the last row leftward to
+    column 0, and a return down column 0."""
+    out: list[Node] = [(x, 0) for x in range(w)]
+    for r in range(1, h - 1):
+        xs = range(w - 1, 0, -1) if r % 2 == 1 else range(1, w)
+        out.extend((x, r) for x in xs)
+    out.extend((x, h - 1) for x in range(w - 1, -1, -1))
+    out.extend((0, y) for y in range(h - 2, 0, -1))
+    return out

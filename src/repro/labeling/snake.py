@@ -1,0 +1,107 @@
+"""Reflected mixed-radix (snake) Hamiltonian labelings for 3D meshes
+and k-ary n-cubes.
+
+Chapter 8 notes the path-based schemes "can be applied to any
+multicomputer networks that have Hamilton paths".  The reflected
+mixed-radix ordering — a boustrophedon that reverses direction in each
+dimension whenever the next-significant digit is odd — is such a path
+for every mesh of any dimension (consecutive indices differ by +-1 in
+exactly one coordinate), and meshes are subgraphs of the matching tori,
+so the same labeling serves k-ary n-cubes.  The 2D specialisation is
+exactly the §6.2.2 boustrophedon labeling.
+
+Under these labelings the high/low channel partition is acyclic —
+deadlock freedom carries over verbatim — but the routing function R is
+*not* always shortest-path (the 2D proof of Lemma 6.1 does not extend
+beyond two dimensions, and torus wrap links are never used by a
+label-monotone route); the stretch is measured by the test-suite and
+the labeling ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..topology.base import Node, Topology
+from ..topology.karyncube import KAryNCube
+from ..topology.mesh import Mesh3D
+from .base import Labeling
+
+
+def snake_index(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Position of a mixed-radix digit vector (most significant first)
+    along the reflected snake ordering.
+
+    Recursive construction: the sequence sweeps the most significant
+    digit 0..r-1, traversing the remaining digits forward on even
+    sweeps and *reversed* on odd sweeps — so consecutive positions
+    always differ by +-1 in exactly one digit.
+    """
+    if not digits:
+        return 0
+    d, r = digits[0], radices[0]
+    rest_size = 1
+    for rr in radices[1:]:
+        rest_size *= rr
+    rest = snake_index(digits[1:], radices[1:])
+    if d % 2 == 1:
+        rest = rest_size - 1 - rest
+    return d * rest_size + rest
+
+
+def snake_digits(index: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`snake_index`."""
+    if not radices:
+        return ()
+    rest_size = 1
+    for rr in radices[1:]:
+        rest_size *= rr
+    d, rem = divmod(index, rest_size)
+    if d % 2 == 1:
+        rem = rest_size - 1 - rem
+    return (d,) + snake_digits(rem, radices[1:])
+
+
+class SnakeLabeling(Labeling):
+    """A Hamiltonian labeling from the reflected mixed-radix snake."""
+
+    def __init__(self, topology: Topology, radices: Sequence[int], to_digits, from_digits):
+        super().__init__(topology)
+        self.radices = tuple(radices)
+        self._to_digits = to_digits
+        self._from_digits = from_digits
+
+    def label(self, v: Node) -> int:
+        return snake_index(self._to_digits(v), self.radices)
+
+    def node_of(self, label: int) -> Node:
+        return self._from_digits(snake_digits(label, self.radices))
+
+
+class BoustrophedonMesh3DLabeling(SnakeLabeling):
+    """Snake labeling of a 3D mesh: planes of 2D boustrophedons, with
+    alternate planes reversed (digit order z, y, x)."""
+
+    def __init__(self, mesh: Mesh3D):
+        super().__init__(
+            mesh,
+            radices=(mesh.depth, mesh.height, mesh.width),
+            to_digits=lambda v: (v[2], v[1], v[0]),
+            from_digits=lambda d: (d[2], d[1], d[0]),
+        )
+        self.mesh = mesh
+
+
+class SnakeTorusLabeling(SnakeLabeling):
+    """Snake labeling of a k-ary n-cube (uses only the mesh subgraph of
+    the torus for label-adjacency; wrap links sit inside whichever
+    subnetwork their label direction dictates)."""
+
+    def __init__(self, torus: KAryNCube):
+        super().__init__(
+            torus,
+            radices=(torus.k,) * torus.n,
+            to_digits=lambda v: v,
+            from_digits=lambda d: tuple(d),
+        )
+        self.torus = torus

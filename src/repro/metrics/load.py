@@ -1,0 +1,103 @@
+"""Channel load distribution analysis (§2.3.2: with deterministic
+routing "the load may not evenly be distributed over the channels").
+
+Aggregates the channels used by a batch of routes and summarises how
+evenly the traffic spreads — the static face of the hot-spot phenomena
+the dynamic study observes (Fig. 7.11).  Fixed-path routing funnels
+everything down the Hamiltonian path; multi-path spreads the same
+traffic across quadrants; the metrics here make that comparable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..models.results import MulticastCycle, MulticastPath, MulticastStar, MulticastTree
+from ..topology.base import Topology
+
+
+def route_arc_list(route) -> list:
+    """Every directed link traversal of a route, *with multiplicity*
+    (a tree that crosses one link twice loads it twice)."""
+    if isinstance(route, MulticastPath):
+        return list(zip(route.nodes, route.nodes[1:]))
+    if isinstance(route, MulticastCycle):
+        closed = list(route.nodes) + [route.nodes[0]]
+        return list(zip(closed, closed[1:]))
+    if isinstance(route, MulticastTree):
+        return list(route.arcs)
+    if isinstance(route, MulticastStar):
+        arcs: list = []
+        for path in route.paths:
+            arcs.extend(zip(path, path[1:]))
+        return arcs
+    raise TypeError(f"cannot extract arcs from {route!r}")
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Distribution statistics of per-channel transmission counts.
+
+    ``gini`` is computed over *all* directed channels of the topology,
+    including unused ones — a routing scheme that concentrates traffic
+    on few channels scores close to 1.
+    """
+
+    total_transmissions: int
+    channels_used: int
+    channels_total: int
+    max_load: int
+    mean_load: float
+    gini: float
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of directed channels that carried any traffic."""
+        return self.channels_used / self.channels_total
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Max channel load over mean load (the hot-spot factor)."""
+        return self.max_load / self.mean_load if self.mean_load else 0.0
+
+
+def channel_loads(routes: Iterable) -> Counter:
+    """Transmission count per directed channel over a batch of routes."""
+    loads: Counter = Counter()
+    for route in routes:
+        for arc in route_arc_list(route):
+            loads[arc] += 1
+    return loads
+
+
+def gini_coefficient(values) -> float:
+    """The Gini inequality coefficient of a non-negative sample."""
+    xs = sorted(values)
+    n = len(xs)
+    total = sum(xs)
+    if n == 0 or total == 0:
+        return 0.0
+    cum = 0.0
+    weighted = 0.0
+    for i, x in enumerate(xs, start=1):
+        weighted += i * x
+    return (2 * weighted) / (n * total) - (n + 1) / n
+
+
+def load_summary(topology: Topology, routes: Iterable) -> LoadSummary:
+    """Summarise how a batch of routes loads the topology's channels."""
+    loads = channel_loads(routes)
+    all_channels = list(topology.channels())
+    values = [loads.get(c, 0) for c in all_channels]
+    total = sum(values)
+    used = sum(1 for v in values if v)
+    return LoadSummary(
+        total_transmissions=total,
+        channels_used=used,
+        channels_total=len(all_channels),
+        max_load=max(values) if values else 0,
+        mean_load=total / len(all_channels) if all_channels else 0.0,
+        gini=gini_coefficient(values),
+    )

@@ -1,0 +1,69 @@
+"""Analytic per-destination latency of a multicast route under each
+switching technology (Ch. 2 models applied to Ch. 3 routes).
+
+This quantifies Chapter 3's central argument for *which multicast model
+fits which switching technology*: under store-and-forward, latency is
+linear in hops, so the multicast tree model (shortest path to every
+destination) wins; under wormhole/VCT/circuit switching, distance
+hardly matters and minimising traffic (Steiner tree) or avoiding
+replication (path/star models) is the right objective.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from ..models.request import MulticastRequest
+from .switching import (
+    SwitchingParams,
+    circuit_switching_latency,
+    store_and_forward_latency,
+    virtual_cut_through_latency,
+    wormhole_latency,
+)
+
+_MODELS = {
+    "store-and-forward": store_and_forward_latency,
+    "virtual-cut-through": virtual_cut_through_latency,
+    "circuit-switching": circuit_switching_latency,
+    "wormhole": wormhole_latency,
+}
+
+
+def dest_latencies(
+    route,
+    request: MulticastRequest,
+    switching: str,
+    params: SwitchingParams = SwitchingParams(),
+) -> dict:
+    """Contention-free delivery latency per destination.
+
+    For path-shaped routes under store-and-forward, a destination ``m``
+    hops along the path receives the message after m full packet
+    transmissions; under the pipelined technologies only the distance
+    term differs.  Tree routes behave identically per destination since
+    replication is free at routers.
+    """
+    model = _MODELS[switching]
+    hops = route.dest_hops(request.destinations)
+    return {d: model(h, params) for d, h in hops.items()}
+
+
+def mean_latency(
+    route,
+    request: MulticastRequest,
+    switching: str,
+    params: SwitchingParams = SwitchingParams(),
+) -> float:
+    """Mean contention-free latency over the destinations."""
+    return mean(dest_latencies(route, request, switching, params).values())
+
+
+def max_latency(
+    route,
+    request: MulticastRequest,
+    switching: str,
+    params: SwitchingParams = SwitchingParams(),
+) -> float:
+    """Worst-case contention-free latency over the destinations."""
+    return max(dest_latencies(route, request, switching, params).values())

@@ -1,0 +1,73 @@
+"""Switching-technology latency models (§2.2, Fig. 2.3).
+
+Contention-free network latency of a length-``L`` message crossing
+``D`` channels of bandwidth ``B``:
+
+* store-and-forward:   (L/B) * (D + 1)
+* virtual cut-through: (L_h/B) * D + L/B
+* circuit switching:   (L_c/B) * D + L/B
+* wormhole routing:    (L_f/B) * D + L/B
+
+where ``L_h`` is the header length, ``L_c`` the circuit-probe length
+and ``L_f`` the flit length.  For ``L >> L_f`` the wormhole latency is
+almost independent of distance — the observation motivating the path
+and star multicast models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwitchingParams:
+    """Channel and message parameters shared by the latency models.
+
+    Defaults follow the dissertation's dynamic study (§7.2): 20 MB/s
+    channels and 128-byte messages; header/probe/flit sizes are typical
+    of second-generation machines.
+    """
+
+    message_bytes: float = 128.0  # L
+    bandwidth_bytes_per_s: float = 20e6  # B
+    header_bytes: float = 4.0  # L_h
+    probe_bytes: float = 4.0  # L_c
+    flit_bytes: float = 2.0  # L_f
+
+    @property
+    def transmission_time(self) -> float:
+        """L/B: time for the full message to cross one channel."""
+        return self.message_bytes / self.bandwidth_bytes_per_s
+
+    @property
+    def flit_time(self) -> float:
+        """L_f/B: time for one flit to cross one channel."""
+        return self.flit_bytes / self.bandwidth_bytes_per_s
+
+
+def store_and_forward_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+    """(L/B)(D+1): each hop buffers the whole packet (§2.2.1)."""
+    return p.transmission_time * (distance + 1)
+
+
+def virtual_cut_through_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+    """(L_h/B)D + L/B: header-pipelined, buffers on blocking (§2.2.2)."""
+    return (p.header_bytes / p.bandwidth_bytes_per_s) * distance + p.transmission_time
+
+
+def circuit_switching_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+    """(L_c/B)D + L/B: probe establishes a circuit, then bulk transfer (§2.2.3)."""
+    return (p.probe_bytes / p.bandwidth_bytes_per_s) * distance + p.transmission_time
+
+
+def wormhole_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+    """(L_f/B)D + L/B: flit-pipelined, blocks in place (§2.2.4)."""
+    return p.flit_time * distance + p.transmission_time
+
+
+LATENCY_MODELS = {
+    "store-and-forward": store_and_forward_latency,
+    "virtual-cut-through": virtual_cut_through_latency,
+    "circuit-switching": circuit_switching_latency,
+    "wormhole": wormhole_latency,
+}

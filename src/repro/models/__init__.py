@@ -1,0 +1,20 @@
+"""Multicast communication models (Ch. 3)."""
+
+from .request import MulticastRequest, random_multicast
+from .results import (
+    InvalidRouteError,
+    MulticastCycle,
+    MulticastPath,
+    MulticastStar,
+    MulticastTree,
+)
+
+__all__ = [
+    "InvalidRouteError",
+    "MulticastCycle",
+    "MulticastPath",
+    "MulticastStar",
+    "MulticastTree",
+    "MulticastRequest",
+    "random_multicast",
+]

@@ -1,0 +1,27 @@
+"""Executable NP-hardness reduction constructions (Ch. 4)."""
+
+from .hypercube import (
+    HypercubeReduction,
+    hypercube_reduction,
+    verify_distance_encoding,
+)
+from .mesh import (
+    MeshReduction,
+    corner_gadget,
+    embed_grid_in_mesh,
+    omc_reduction,
+    omp_reduction,
+    oms_reduction,
+)
+
+__all__ = [
+    "HypercubeReduction",
+    "MeshReduction",
+    "corner_gadget",
+    "embed_grid_in_mesh",
+    "hypercube_reduction",
+    "omc_reduction",
+    "omp_reduction",
+    "oms_reduction",
+    "verify_distance_encoding",
+]

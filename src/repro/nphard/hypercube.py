@@ -1,0 +1,100 @@
+"""Executable Chapter 4 reduction for hypercubes (Theorems 4.5-4.7).
+
+Given a grid graph G with k vertices, construct the multicast set
+K = {u_0, ..., u_{k-1}} in the 4k-cube whose pairwise distances encode
+G's adjacency:
+
+    d_H(u_i, u_j) = 6  iff (v_i, v_j) in E(G)      (Lemma 4.3)
+    d_H(u_i, u_j) = 8  iff (v_i, v_j) not in E(G)  (Lemma 4.2)
+
+so G has a Hamilton cycle iff the cube has an OMC for K of length <= 6k
+(Theorem 4.5), and similarly for OMP/OMS via Lemma 4.1's gadget.
+
+Each node address consists of k four-bit blocks; block assignments
+follow the selection procedure of §4.2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.grid import GridGraph, Point
+from ..topology.hypercube import Hypercube
+
+
+@dataclass(frozen=True)
+class HypercubeReduction:
+    """The 4k-cube multicast instance encoding a grid graph."""
+
+    cube: Hypercube
+    #: K in grid BFS order: addresses[i] encodes grid vertex order[i].
+    addresses: tuple
+    #: grid vertices in the BFS order used by the construction.
+    order: tuple
+    threshold: int
+
+
+#: Block codes of step 2(a): position of the 1 by |U_{p,m}|.
+_U_BLOCKS = ("1000", "0100", "0010", "0001")
+
+
+def _block_to_int(bits: str) -> int:
+    return int(bits, 2)
+
+
+def hypercube_reduction(grid: GridGraph, root: Point | None = None) -> HypercubeReduction:
+    """Run the §4.2 selection procedure on a connected grid graph."""
+    if root is None:
+        root = next(iter(sorted(grid.vertices)))
+    order = grid.bfs_order(root)
+    k = len(order)
+    pos = {v: i for i, v in enumerate(order)}
+    cube = Hypercube(4 * k)
+
+    def set_block(addr: int, block_index: int, bits: str) -> int:
+        """Place a 4-bit block; block 0 is the most significant
+        (address read left to right as a_0 a_1 ... a_{k-1})."""
+        shift = 4 * (k - 1 - block_index)
+        return addr | (_block_to_int(bits) << shift)
+
+    addresses = []
+    # Step 1: u_0 has a_0 = 1111.
+    addresses.append(set_block(0, 0, "1111"))
+    # Step 2: u_m for m = 1..k-1.
+    for m in range(1, k):
+        v_m = order[m]
+        V_m = [order[p] for p in range(m) if order[p] in grid.neighbors(v_m)]
+        if not 1 <= len(V_m) <= 2:
+            raise ValueError(
+                f"selection procedure requires 1 <= |V_m| <= 2, got {len(V_m)} "
+                f"for vertex {v_m!r} (grid not BFS-orderable as required)"
+            )
+        addr = 0
+        for v_p in V_m:
+            p = pos[v_p]
+            U_pm = [
+                order[q]
+                for q in range(p + 1, m)
+                if order[q] in grid.neighbors(v_p)
+            ]
+            if len(U_pm) > 3:
+                raise ValueError("grid degree bound violated")
+            addr = set_block(addr, p, _U_BLOCKS[len(U_pm)])
+        addr = set_block(addr, m, "1110" if len(V_m) == 1 else "1100")
+        addresses.append(addr)
+
+    return HypercubeReduction(cube, tuple(addresses), tuple(order), threshold=6 * k)
+
+
+def verify_distance_encoding(grid: GridGraph, reduction: HypercubeReduction) -> bool:
+    """Check Lemmas 4.2/4.3 on a constructed instance: pairwise cube
+    distances are 6 exactly on grid edges and 8 otherwise."""
+    cube = reduction.cube
+    order, addr = reduction.order, reduction.addresses
+    for i in range(len(order)):
+        for j in range(i + 1, len(order)):
+            d = cube.distance(addr[i], addr[j])
+            expected = 6 if order[j] in grid.neighbors(order[i]) else 8
+            if d != expected:
+                return False
+    return True

@@ -1,0 +1,84 @@
+"""Executable Chapter 4 reductions for 2D meshes (Theorems 4.1-4.3,
+Lemma 4.1).
+
+These constructions make the NP-completeness proofs testable: given a
+grid graph they produce the 2D-mesh multicast instances whose optimal
+costs encode the grid's Hamilton cycle/path answers, and the property
+tests verify the iff statements with brute-force Hamilton solvers on
+small grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.grid import GridGraph, Point
+from ..topology.mesh import Mesh2D
+
+
+@dataclass(frozen=True)
+class MeshReduction:
+    """A mesh multicast instance produced by a Chapter 4 reduction.
+
+    ``mesh`` contains the (translated) grid; ``multicast_set`` is the
+    node subset K; ``source`` is fixed for the path/star variants;
+    ``threshold`` is the decision bound: the grid problem answers *yes*
+    iff the optimal cost is <= threshold.
+    """
+
+    mesh: Mesh2D
+    multicast_set: tuple
+    source: tuple | None
+    threshold: int
+
+
+def embed_grid_in_mesh(grid: GridGraph, margin: int = 0) -> tuple[Mesh2D, dict]:
+    """Construct a 2D mesh M with V(G) <= V(M) (polynomial step of
+    Theorem 4.1) and the translation placing grid vertices in it."""
+    (min_x, min_y), (max_x, max_y) = grid.bounding_box()
+    ox, oy = min_x - margin, min_y - margin
+    mesh = Mesh2D(max_x - ox + 1 + margin, max_y - oy + 1 + margin)
+    translate = {v: (v[0] - ox, v[1] - oy) for v in grid.vertices}
+    return mesh, translate
+
+
+def omc_reduction(grid: GridGraph) -> MeshReduction:
+    """Theorem 4.1: G has a Hamilton cycle iff the mesh has an OMC for
+    K = V(G) of total length |V(G)|."""
+    mesh, translate = embed_grid_in_mesh(grid)
+    K = tuple(sorted(translate[v] for v in grid.vertices))
+    return MeshReduction(mesh, K, source=K[0], threshold=len(grid))
+
+
+def corner_gadget(grid: GridGraph) -> tuple[GridGraph, Point, Point]:
+    """Lemma 4.1's construction: extend G with the four gadget points
+    p, q, t, s at a chosen corner; G has a Hamilton cycle iff
+    G' = G + {p,q,t,s} has a Hamilton path starting from s (which must
+    end at t).
+
+    Returns ``(G', s, t)``.
+    """
+    ux = min(v[0] for v in grid.vertices)
+    uy = min(v[1] for v in grid.vertices if v[0] == ux)
+    p = (ux - 1, uy)
+    q = (ux - 1, uy + 1)
+    t = (ux - 2, uy + 1)
+    s = (ux - 1, uy - 1)
+    extended = GridGraph(set(grid.vertices) | {p, q, t, s})
+    return extended, s, t
+
+
+def omp_reduction(grid: GridGraph) -> MeshReduction:
+    """Theorem 4.2 (via Lemma 4.1): G has a Hamilton cycle iff the mesh
+    hosting G' has an OMP from s for K = V(G') of length |V(G')| - 1."""
+    gprime, s, t = corner_gadget(grid)
+    mesh, translate = embed_grid_in_mesh(gprime)
+    K = tuple(sorted(translate[v] for v in gprime.vertices))
+    return MeshReduction(mesh, K, source=translate[s], threshold=len(gprime) - 1)
+
+
+def oms_reduction(grid: GridGraph) -> MeshReduction:
+    """Theorem 4.3: same construction as the OMP reduction; a minimum
+    multicast star of length |V(G')| - 1 rooted at s must consist of a
+    single Hamilton path of G'."""
+    return omp_reduction(grid)

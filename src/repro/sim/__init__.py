@@ -1,0 +1,74 @@
+"""Discrete-event wormhole network simulation (§7.2's dynamic study).
+
+The CSIM-equivalent kernel lives in :mod:`repro.sim.kernel`; the
+flit-level wormhole model in :mod:`repro.sim.network`; routing adapters
+in :mod:`repro.sim.traffic`; the experiment drivers in
+:mod:`repro.sim.runner`.
+"""
+
+from .config import SimConfig
+from .kernel import Environment, Event, Process, Timeout
+from .network import (
+    AdaptivePathWorm,
+    Channel,
+    Delivery,
+    PathWorm,
+    TreeWorm,
+    WormholeNetwork,
+)
+from .circuit import CircuitMessage, inject_circuit_path
+from .saf import SAFNetwork
+from .vct import VCTWorm, inject_vct_path
+from .runner import (
+    DeadlockDetected,
+    MixedResult,
+    inject_specs,
+    run_mixed,
+    run_until_confident,
+    DynamicResult,
+    ScenarioResult,
+    run_dynamic,
+    run_static_scenario,
+)
+from .stats import Summary, batch_means, t975
+from .traffic import AdaptiveSpec, PathSpec, Router, TreeSpec, VCTTreeSpec
+from .vct_tree import VCTTreeMulticast, inject_vct_tree, tree_chains
+
+__all__ = [
+    "AdaptivePathWorm",
+    "AdaptiveSpec",
+    "Channel",
+    "CircuitMessage",
+    "DeadlockDetected",
+    "Delivery",
+    "DynamicResult",
+    "Environment",
+    "MixedResult",
+    "Event",
+    "PathSpec",
+    "PathWorm",
+    "SAFNetwork",
+    "Process",
+    "Router",
+    "ScenarioResult",
+    "SimConfig",
+    "Summary",
+    "Timeout",
+    "TreeSpec",
+    "VCTTreeMulticast",
+    "VCTTreeSpec",
+    "TreeWorm",
+    "VCTWorm",
+    "WormholeNetwork",
+    "batch_means",
+    "inject_circuit_path",
+    "inject_specs",
+    "inject_vct_path",
+    "inject_vct_tree",
+    "tree_chains",
+    "run_dynamic",
+    "run_mixed",
+    "run_until_confident",
+    "run_static_scenario",
+    "t975",
+]

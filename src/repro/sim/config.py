@@ -1,0 +1,68 @@
+"""Simulation parameters for the dynamic study (§7.2).
+
+Defaults reproduce the dissertation's setup: 128-byte messages on
+20 MB/s channels, an average of 10 destinations per multicast, and
+exponential (Poisson) message generation at every node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of one dynamic wormhole simulation run."""
+
+    #: message length L in bytes (§7.2: 128)
+    message_bytes: int = 128
+    #: flit size in bytes; 2 gives a 0.1 us flit time at 20 MB/s
+    flit_bytes: int = 2
+    #: channel bandwidth B in bytes/second (§7.2: 20 MB/s)
+    bandwidth: float = 20e6
+    #: average time between multicasts per node, in seconds
+    #: (§7.2 Fig. 7.9: 300 us)
+    mean_interarrival: float = 300e-6
+    #: destinations per multicast (§7.2: average 10)
+    num_destinations: int = 10
+    #: total messages to inject across all nodes
+    num_messages: int = 2000
+    #: fraction of earliest-injected messages discarded as warm-up
+    warmup_fraction: float = 0.1
+    #: physical channels per link direction (1 = single, 2 = double)
+    channels_per_link: int = 1
+    #: model the destination-address header carried by each worm
+    #: (§2.3.1: distributed routing carries the destination addresses in
+    #: the message; more destinations = longer messages).  Off by
+    #: default to match the dissertation's fixed 128-byte messages.
+    model_header_overhead: bool = False
+    #: bytes per destination address in the header when modelling it
+    address_bytes: int = 2
+    #: RNG seed
+    seed: int = 1
+
+    @property
+    def flits_per_message(self) -> int:
+        return max(1, math.ceil(self.message_bytes / self.flit_bytes))
+
+    def flits_with_header(self, num_addresses: int) -> int:
+        """Flit count for a message carrying ``num_addresses``
+        destination addresses in its header."""
+        total = self.message_bytes + num_addresses * self.address_bytes
+        return max(1, math.ceil(total / self.flit_bytes))
+
+    @property
+    def flit_time(self) -> float:
+        """Time for one flit to cross one channel."""
+        return self.flit_bytes / self.bandwidth
+
+    @property
+    def message_time(self) -> float:
+        """L/B: time for the whole message to cross one channel."""
+        return self.message_bytes / self.bandwidth
+
+    def replace(self, **kw) -> "SimConfig":
+        from dataclasses import replace
+
+        return replace(self, **kw)

@@ -1,0 +1,164 @@
+"""A process-oriented discrete-event simulation kernel.
+
+The dissertation's dynamic study (§7.2) was built on CSIM, a C package
+in which "multiple pseudo-processes execute in a quasi-parallel
+fashion".  CSIM is proprietary and this environment has no network
+access, so the kernel is reimplemented here: an event calendar
+(heapq), callback scheduling, and generator-based pseudo-processes that
+yield :class:`Timeout` or :class:`Event` objects, in the style CSIM and
+simpy share.
+
+The wormhole network model (:mod:`repro.sim.network`) uses the callback
+interface for speed; the traffic generators and examples use processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable] = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event, resuming all waiters at the current time."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            self.env.schedule(0.0, cb, self)
+        self.callbacks.clear()
+        return self
+
+    def wait(self, cb: Callable) -> None:
+        if self.triggered:
+            self.env.schedule(0.0, cb, self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value=None):
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError("negative delay")
+        env.schedule(delay, self._fire, value)
+
+    def _fire(self, value):
+        self.succeed(value)
+
+
+class Process(Event):
+    """Drives a generator that yields events; itself an event that
+    triggers with the generator's return value."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        self._gen = gen
+        env.schedule(0.0, self._step, None)
+
+    def _step(self, event) -> None:
+        value = event.value if isinstance(event, Event) else None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(f"process yielded {target!r}, expected an Event")
+        target.wait(self._step)
+
+
+class Environment:
+    """The event calendar: simulated clock plus a priority queue of
+    scheduled callbacks."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list = []
+        self._counter = 0
+
+    def schedule(self, delay: float, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated time units."""
+        self._counter += 1
+        heapq.heappush(self._queue, (self.now + delay, self._counter, fn, args))
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event triggering once every input event has triggered."""
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        values = [None] * remaining
+
+        def make_cb(i):
+            def cb(ev):
+                nonlocal remaining
+                values[i] = ev.value
+                remaining -= 1
+                if remaining == 0:
+                    done.succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.wait(make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event triggering as soon as any input event triggers,
+        with that event's value."""
+        events = list(events)
+        done = self.event()
+
+        def cb(ev):
+            if not done.triggered:
+                done.succeed(ev.value)
+
+        for ev in events:
+            ev.wait(cb)
+        return done
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the calendar empties or ``until``."""
+        while self._queue:
+            t, _, fn, args = self._queue[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = t
+            fn(*args)
+        if until is not None:
+            self.now = until
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

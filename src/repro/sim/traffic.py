@@ -1,0 +1,176 @@
+"""Routing adapters and workload generation for the dynamic study
+(§7.2).
+
+Each multicast routing scheme is adapted into a function that maps a
+:class:`MulticastRequest` to the worm injections it causes:
+
+* path-based schemes (dual-path, multi-path, fixed-path) yield one
+  :class:`PathSpec` per star path — independent worms;
+* the double-channel X-first tree yields one :class:`TreeSpec` per
+  quadrant subnetwork, each tagged so it runs on its own channel
+  copies;
+* the deadlock-prone e-cube tree (hypercubes) and plain X-first
+  multicast tree (meshes) yield a single untagged :class:`TreeSpec` on
+  the single-channel network — used by the §6.1 deadlock
+  demonstrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..heuristics.xfirst import xfirst_route
+from ..labeling import canonical_labeling
+from ..models.request import MulticastRequest
+from ..wormhole.cdg import tree_stages
+from ..wormhole.ecube_tree import ecube_tree_route
+from ..wormhole.star_routing import (
+    dual_path_route,
+    fixed_path_route,
+    multi_path_route,
+)
+from ..wormhole.subnetworks import double_channel_xfirst_route, partition_destinations
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """One path worm: the node sequence and which nodes latch a copy.
+
+    ``plane`` pins the worm to a virtual-channel plane (§8.2 extension);
+    ``None`` uses the physical channels directly."""
+
+    nodes: tuple
+    destinations: frozenset
+    plane: int | None = None
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """One adaptive path worm (§8.2): routed hop by hop at simulation
+    time; carries the label-sorted destination itinerary."""
+
+    source: object
+    destinations: tuple  # label-sorted travel order
+
+
+@dataclass(frozen=True)
+class VCTTreeSpec:
+    """One buffered-replication VCT multicast tree (the ref. [21]
+    router style): arcs + source + destinations."""
+
+    source: object
+    arcs: tuple
+    destinations: frozenset
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One lockstep tree worm: arcs grouped by depth (optionally tagged
+    with a subnetwork name) and the destinations reached per level."""
+
+    levels: tuple  # tuple of tuples of arcs
+    dest_levels: tuple  # tuple of frozensets
+
+
+def _star_to_specs(star) -> list[PathSpec]:
+    return [
+        PathSpec(tuple(path), frozenset(group))
+        for path, group in zip(star.paths, star.partition)
+    ]
+
+
+def _tree_to_spec(tree, destinations, tag=None) -> TreeSpec:
+    levels = tree_stages(tree, tag=tag)
+    dset = set(destinations)
+    dest_levels = []
+    for level in levels:
+        heads = {arc[1] for arc in level}
+        dest_levels.append(frozenset(heads & dset))
+    return TreeSpec(
+        tuple(tuple(level) for level in levels), tuple(dest_levels)
+    )
+
+
+class Router:
+    """Maps requests to worm specs for one routing scheme on one
+    topology (precomputing the labeling once)."""
+
+    PATH_SCHEMES = ("dual-path", "multi-path", "fixed-path")
+    TREE_SCHEMES = ("tree-xfirst", "ecube-tree", "xfirst-tree")
+    ADAPTIVE_SCHEMES = ("dual-path-adaptive",)
+    VCT_TREE_SCHEMES = ("vct-tree",)
+    VC_PREFIX = "virtual-channel-"  # e.g. "virtual-channel-4"
+
+    def __init__(self, topology, scheme: str):
+        self.num_planes = 0
+        if scheme.startswith(self.VC_PREFIX):
+            self.num_planes = int(scheme[len(self.VC_PREFIX):])
+            if self.num_planes < 1:
+                raise ValueError("need at least one virtual-channel plane")
+        elif scheme not in (
+            self.PATH_SCHEMES
+            + self.TREE_SCHEMES
+            + self.ADAPTIVE_SCHEMES
+            + self.VCT_TREE_SCHEMES
+        ):
+            raise ValueError(f"unknown routing scheme {scheme!r}")
+        self.topology = topology
+        self.scheme = scheme
+        self.labeling = (
+            canonical_labeling(topology)
+            if self.num_planes
+            or scheme in self.PATH_SCHEMES + self.ADAPTIVE_SCHEMES
+            else None
+        )
+
+    def __call__(self, request: MulticastRequest) -> list:
+        if self.num_planes:
+            from ..wormhole.virtual_channels import virtual_channel_route
+
+            star = virtual_channel_route(request, self.num_planes, self.labeling)
+            return [
+                PathSpec(tuple(path), frozenset(group), plane)
+                for path, group, plane in zip(star.paths, star.partition, star.planes)
+            ]
+        if self.scheme == "dual-path":
+            return _star_to_specs(dual_path_route(request, self.labeling))
+        if self.scheme == "dual-path-adaptive":
+            from ..wormhole.star_routing import split_high_low
+
+            high, low = split_high_low(request, self.labeling)
+            return [
+                AdaptiveSpec(request.source, tuple(group))
+                for group in (high, low)
+                if group
+            ]
+        if self.scheme == "multi-path":
+            return _star_to_specs(multi_path_route(request, self.labeling))
+        if self.scheme == "fixed-path":
+            return _star_to_specs(fixed_path_route(request, self.labeling))
+        if self.scheme == "vct-tree":
+            from ..topology.hypercube import Hypercube
+
+            tree = (
+                ecube_tree_route(request)
+                if isinstance(self.topology, Hypercube)
+                else xfirst_route(request)
+            )
+            return [
+                VCTTreeSpec(request.source, tree.arcs, frozenset(request.destinations))
+            ]
+        if self.scheme == "tree-xfirst":
+            # each quadrant tree delivers only its own quadrant's
+            # destinations, even when it passes through another
+            # quadrant's destination on a boundary row/column.
+            parts = partition_destinations(request.source, request.destinations)
+            return [
+                _tree_to_spec(tree, parts[quadrant], tag=quadrant)
+                for quadrant, tree in double_channel_xfirst_route(request)
+            ]
+        if self.scheme == "ecube-tree":
+            tree = ecube_tree_route(request)
+            return [_tree_to_spec(tree, request.destinations)]
+        # "xfirst-tree": the deadlock-prone single-channel mesh tree
+        tree = xfirst_route(request)
+        return [_tree_to_spec(tree, request.destinations)]

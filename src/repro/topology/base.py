@@ -1,0 +1,152 @@
+"""Abstract multicomputer network topology.
+
+The dissertation models a multicomputer's interconnection network as a
+*host graph* ``G(V, E)`` (Ch. 2/3): each node is a processor, each edge a
+bidirectional communication link realised as a pair of opposite directed
+*channels*.  Concrete topologies (2D/3D mesh, hypercube, k-ary n-cube)
+provide O(1) distance computation and deterministic dimension-ordered
+shortest paths, which the routing algorithms of Ch. 5/6 rely on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Node = Hashable
+Channel = tuple[Node, Node]
+
+
+class Topology(ABC):
+    """A fixed multicomputer network topology (host graph).
+
+    Nodes are hashable addresses (coordinate tuples for meshes, integer
+    bit-addresses for hypercubes).  Every topology provides a bijection
+    between node addresses and dense indices ``0..num_nodes-1`` so that
+    simulators and metrics can use array storage.
+    """
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Number of processors ``|V|``."""
+
+    @abstractmethod
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all node addresses in index order."""
+
+    @abstractmethod
+    def is_node(self, v: Node) -> bool:
+        """Whether ``v`` is a valid node address of this topology."""
+
+    @abstractmethod
+    def neighbors(self, v: Node) -> tuple[Node, ...]:
+        """All nodes joined to ``v`` by a link."""
+
+    @abstractmethod
+    def distance(self, u: Node, v: Node) -> int:
+        """Length of a shortest path between ``u`` and ``v``."""
+
+    @abstractmethod
+    def index(self, v: Node) -> int:
+        """Dense index of ``v`` in ``0..num_nodes-1``."""
+
+    @abstractmethod
+    def node_at(self, i: int) -> Node:
+        """Inverse of :meth:`index`."""
+
+    @abstractmethod
+    def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+        """The deterministic shortest path used by the base unicast routing.
+
+        For meshes this is X-first (then Y, then Z) routing; for
+        hypercubes it is e-cube routing (correct bits lowest dimension
+        first).  Returns the node sequence ``[u, ..., v]``.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived helpers shared by all topologies.
+    # ------------------------------------------------------------------
+
+    def degree(self, v: Node) -> int:
+        """Number of links incident to ``v``."""
+        return len(self.neighbors(v))
+
+    def channels(self) -> Iterator[Channel]:
+        """All directed channels ``(u, v)`` with a link between u and v."""
+        for u in self.nodes():
+            for v in self.neighbors(u):
+                yield (u, v)
+
+    def undirected_edges(self) -> Iterator[frozenset]:
+        """Each physical link once, as a frozenset of its endpoints."""
+        seen: set[frozenset] = set()
+        for u in self.nodes():
+            for v in self.neighbors(u):
+                e = frozenset((u, v))
+                if e not in seen:
+                    seen.add(e)
+                    yield e
+
+    @property
+    def num_channels(self) -> int:
+        """Number of directed channels (2x the number of links)."""
+        return sum(self.degree(u) for u in self.nodes())
+
+    def distance_matrix(self):
+        """All-pairs distance matrix as a numpy int array indexed by
+        :meth:`index`.
+
+        The generic implementation loops over pairs; :class:`Mesh2D`,
+        :class:`Mesh3D` and :class:`Hypercube` override it with
+        vectorised computations (broadcasting / XOR-popcount).
+        """
+        import numpy as np
+
+        n = self.num_nodes
+        nodes = list(self.nodes())
+        out = np.zeros((n, n), dtype=np.int64)
+        for i, u in enumerate(nodes):
+            for j in range(i + 1, n):
+                d = self.distance(u, nodes[j])
+                out[i, j] = d
+                out[j, i] = d
+        return out
+
+    def diameter(self) -> int:
+        """Maximum shortest-path distance over all node pairs."""
+        best = 0
+        node_list = list(self.nodes())
+        for i, u in enumerate(node_list):
+            for v in node_list[i + 1 :]:
+                d = self.distance(u, v)
+                if d > best:
+                    best = d
+        return best
+
+    def are_adjacent(self, u: Node, v: Node) -> bool:
+        """Whether ``(u, v)`` is a link of the topology."""
+        return self.distance(u, v) == 1
+
+    def validate_multicast_set(self, source: Node, destinations: Iterable[Node]) -> None:
+        """Raise ``ValueError`` unless source/destinations form a valid
+        multicast set ``K`` (all distinct nodes of the topology, source
+        not among the destinations)."""
+        if not self.is_node(source):
+            raise ValueError(f"source {source!r} is not a node of {self!r}")
+        seen: set[Node] = set()
+        for d in destinations:
+            if not self.is_node(d):
+                raise ValueError(f"destination {d!r} is not a node of {self!r}")
+            if d == source:
+                raise ValueError(f"destination {d!r} equals the source")
+            if d in seen:
+                raise ValueError(f"duplicate destination {d!r}")
+            seen.add(d)
+
+    def path_length(self, path: Sequence[Node]) -> int:
+        """Number of links in a node sequence; validates adjacency."""
+        for a, b in zip(path, path[1:]):
+            if not self.are_adjacent(a, b):
+                raise ValueError(f"{a!r} and {b!r} are not adjacent")
+        return max(len(path) - 1, 0)

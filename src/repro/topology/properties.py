@@ -1,0 +1,92 @@
+"""Topology evaluation factors (§2.1).
+
+The dissertation lists the criteria for choosing a multicomputer
+topology — number of connections, regularity, diameter, scalability,
+routing, robustness, throughput — and §2.1.2 argues via *bisection
+density* that low-dimensional networks get wider channels for the same
+wiring budget.  This module computes those factors so the §2.1
+mesh-vs-hypercube comparison can be tabulated for any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from .base import Topology
+from .hypercube import Hypercube
+from .karyncube import KAryNCube
+from .mesh import Mesh2D, Mesh3D
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """The §2.1 evaluation factors for one topology."""
+
+    name: str
+    num_nodes: int
+    num_links: int  # bidirectional connections ("number of connections")
+    min_degree: int
+    max_degree: int  # equal min/max = regular network
+    diameter: int
+    average_distance: float
+    bisection_width: int  # links cut by a balanced bisection
+
+    @property
+    def is_regular(self) -> bool:
+        return self.min_degree == self.max_degree
+
+    def channel_width_at_fixed_bisection_density(self, budget: float = 1.0) -> float:
+        """Relative channel width if every topology gets the same
+        bisection density (§2.1.2): width ∝ budget / bisection_width.
+        Low-dimensional networks score higher — "a few high-bandwidth
+        channels"."""
+        return budget / self.bisection_width
+
+
+def bisection_width(topology: Topology) -> int:
+    """Links crossing a balanced bisection.
+
+    Analytic for the standard families (the §2.1.2 values); brute force
+    would be exponential and is not attempted for other topologies.
+    """
+    if isinstance(topology, Mesh2D):
+        w, h = topology.width, topology.height
+        # cut the longer side in half
+        if w >= h:
+            return h if w % 2 == 0 else h  # vertical cut crosses h links
+        return w
+    if isinstance(topology, Mesh3D):
+        dims = sorted([topology.width, topology.height, topology.depth])
+        return dims[0] * dims[1]  # cut across the largest dimension
+    if isinstance(topology, Hypercube):
+        return topology.num_nodes // 2
+    if isinstance(topology, KAryNCube):
+        # cutting one dimension of a torus severs 2 rings per line
+        return 2 * topology.k ** (topology.n - 1) if topology.k > 2 else topology.k ** (topology.n - 1)
+    raise TypeError(f"no analytic bisection width for {topology!r}")
+
+
+def average_distance(topology: Topology) -> float:
+    """Mean shortest-path distance over distinct node pairs (uses the
+    vectorised distance matrix)."""
+    import numpy as np
+
+    M = topology.distance_matrix()
+    n = M.shape[0]
+    return float(M.sum() / (n * (n - 1)))
+
+
+def profile(topology: Topology, name: str | None = None) -> TopologyProfile:
+    """Compute the full §2.1 factor profile."""
+    degrees = [topology.degree(v) for v in topology.nodes()]
+    return TopologyProfile(
+        name=name or repr(topology),
+        num_nodes=topology.num_nodes,
+        num_links=topology.num_channels // 2,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        diameter=topology.diameter(),
+        average_distance=average_distance(topology),
+        bisection_width=bisection_width(topology),
+    )

@@ -1,0 +1,147 @@
+"""Network partitioning for tree-like deadlock-free multicast (§6.2.1).
+
+Doubling every channel of a 2D mesh and partitioning the result into
+the four acyclic subnetworks
+
+    N_{+X,+Y}: channels (i,j)->(i+1,j) and (i,j)->(i,j+1)
+    N_{-X,+Y}: channels (i,j)->(i-1,j) and (i,j)->(i,j+1)
+    N_{-X,-Y}: channels (i,j)->(i-1,j) and (i,j)->(i,j-1)
+    N_{+X,-Y}: channels (i,j)->(i+1,j) and (i,j)->(i,j-1)
+
+lets the X-first multicast tree run deadlock-free: each sub-multicast
+stays inside one subnetwork whose channels can be totally ordered
+(Fig. 6.8), so no cyclic channel dependency can form (Assertion 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..models.request import MulticastRequest
+from ..models.results import MulticastTree
+from ..topology.base import Node
+from ..topology.mesh import Mesh2D
+
+QUADRANTS = ("+X+Y", "-X+Y", "-X-Y", "+X-Y")
+
+#: unit steps allowed inside each subnetwork
+_QUADRANT_STEPS = {
+    "+X+Y": ((1, 0), (0, 1)),
+    "-X+Y": ((-1, 0), (0, 1)),
+    "-X-Y": ((-1, 0), (0, -1)),
+    "+X-Y": ((1, 0), (0, -1)),
+}
+
+
+def quadrant_channels(mesh: Mesh2D, quadrant: str) -> list[tuple[Node, Node]]:
+    """The directed channels belonging to one subnetwork."""
+    steps = _QUADRANT_STEPS[quadrant]
+    out = []
+    for u in mesh.nodes():
+        for dx, dy in steps:
+            v = (u[0] + dx, u[1] + dy)
+            if mesh.is_node(v):
+                out.append((u, v))
+    return out
+
+
+def partition_destinations(source: Node, destinations) -> dict:
+    """Partition a destination set into the four quadrant sets
+    (§6.2.1's D_{+X,+Y} etc.; the half-open boundaries tile the plane
+    minus the source)."""
+    x0, y0 = source
+    out = {q: [] for q in QUADRANTS}
+    for d in destinations:
+        x, y = d
+        if x > x0 and y >= y0:
+            out["+X+Y"].append(d)
+        elif x <= x0 and y > y0:
+            out["-X+Y"].append(d)
+        elif x < x0 and y <= y0:
+            out["-X-Y"].append(d)
+        else:  # x >= x0 and y < y0
+            out["+X-Y"].append(d)
+    return out
+
+
+def _mirror(quadrant: str, local: Node, d: Node) -> tuple[int, int]:
+    """Coordinates of ``d`` relative to ``local`` with the quadrant's
+    axes flipped to look like +X,+Y."""
+    sx = 1 if "+X" in quadrant else -1
+    sy = 1 if "+Y" in quadrant else -1
+    return (sx * (d[0] - local[0]), sy * (d[1] - local[1]))
+
+
+def double_channel_xfirst_step(
+    mesh: Mesh2D, quadrant: str, local: Node, dests
+) -> tuple[bool, dict]:
+    """One step of the double-channel X-first routing algorithm
+    (Fig. 6.6), generalised to all four subnetworks by mirroring.
+
+    Returns ``(deliver_local, {next_node: sublist})``.
+    """
+    sx = 1 if "+X" in quadrant else -1
+    sy = 1 if "+Y" in quadrant else -1
+    rel = {d: _mirror(quadrant, local, d) for d in dests}
+    # Step 1: while strictly west of every destination, move east.
+    min_rx = min(r[0] for r in rel.values()) if rel else 0
+    if rel and min_rx > 0:
+        return False, {(local[0] + sx, local[1]): list(dests)}
+    deliver = False
+    column, remainder = [], []
+    for d in dests:
+        rx, ry = rel[d]
+        if rx == 0 and ry == 0:
+            deliver = True
+        elif rx == 0:
+            column.append(d)  # step 3: same column, go vertical
+        else:
+            remainder.append(d)
+    groups: dict = {}
+    if column:
+        groups[(local[0], local[1] + sy)] = column
+    if remainder:
+        groups[(local[0] + sx, local[1])] = remainder
+    return deliver, groups
+
+
+def double_channel_xfirst_route(
+    request: MulticastRequest,
+) -> list[tuple[str, MulticastTree]]:
+    """The tree-like deadlock-free multicast of §6.2.1: one X-first
+    multicast tree per quadrant subnetwork.
+
+    Returns ``[(quadrant, tree), ...]`` for the non-empty quadrants; the
+    simulator maps each tree onto its own channel copies.
+    """
+    mesh = request.topology
+    if not isinstance(mesh, Mesh2D):
+        raise TypeError("double-channel X-first routing is defined for 2D meshes")
+    results = []
+    delivered_all: set = set()
+    for quadrant, dlist in partition_destinations(request.source, request.destinations).items():
+        if not dlist:
+            continue
+        arcs: list = []
+        delivered: set = set()
+        pending = deque([(request.source, list(dlist))])
+        while pending:
+            w, sub = pending.popleft()
+            deliver, groups = double_channel_xfirst_step(mesh, quadrant, w, sub)
+            if deliver:
+                delivered.add(w)
+            for nxt, nsub in groups.items():
+                arcs.append((w, nxt))
+                pending.append((nxt, nsub))
+        tree = MulticastTree(mesh, request.source, tuple(arcs))
+        allowed = set(quadrant_channels(mesh, quadrant))
+        for arc in arcs:
+            if arc not in allowed:
+                raise RuntimeError(f"arc {arc} left subnetwork {quadrant}")
+        sub_req = MulticastRequest(mesh, request.source, tuple(dlist))
+        tree.validate(sub_req, shortest_paths=True)
+        delivered_all |= delivered
+        results.append((quadrant, tree))
+    if delivered_all != set(request.destinations):
+        raise RuntimeError("double-channel X-first failed to deliver")
+    return results

@@ -1,0 +1,112 @@
+"""Chapter 4 corollaries on 3D meshes (the exact solvers are
+topology-generic) and the nCUBE-2 subcube multicast restriction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exact import (
+    held_karp_walk_cost,
+    minimal_steiner_tree_cost,
+    optimal_multicast_path,
+    optimal_multicast_star_cost,
+    optimal_multicast_tree_cost,
+)
+from repro.models import MulticastRequest, random_multicast
+from repro.topology import Hypercube, Mesh3D
+from repro.workloads import subcube as subcube_pattern
+from repro.wormhole import dual_path_route, multi_path_route
+from repro.wormhole.ecube_tree import subcube_multicast_route
+
+
+class TestExactSolversOn3DMesh:
+    """Corollaries 4.1-4.4 concern 3D meshes; the exact machinery runs
+    there unchanged."""
+
+    def setup_method(self):
+        self.m = Mesh3D(3, 3, 2)
+        self.rng = random.Random(5)
+
+    def test_omp_valid_and_bounded(self):
+        for _ in range(5):
+            req = random_multicast(self.m, 3, self.rng)
+            opt = optimal_multicast_path(req)
+            opt.validate(req)
+            assert opt.traffic >= held_karp_walk_cost(
+                self.m, req.source, req.destinations
+            )
+
+    def test_mst_at_most_omt(self):
+        for _ in range(5):
+            req = random_multicast(self.m, 3, self.rng)
+            assert minimal_steiner_tree_cost(req) <= optimal_multicast_tree_cost(req)
+
+    def test_oms_at_most_omp(self):
+        for _ in range(4):
+            req = random_multicast(self.m, 3, self.rng)
+            assert optimal_multicast_star_cost(req) <= optimal_multicast_path(req).traffic
+
+    def test_star_heuristics_vs_exact(self):
+        for _ in range(4):
+            req = random_multicast(self.m, 3, self.rng)
+            opt = optimal_multicast_star_cost(req)
+            assert dual_path_route(req).traffic >= opt
+            assert multi_path_route(req).traffic >= opt
+
+
+class TestSubcubeMulticast:
+    def test_valid_subcube(self):
+        cube = Hypercube(5)
+        rng = random.Random(1)
+        req = subcube_pattern(cube, 0b10101, 7, rng)
+        tree = subcube_multicast_route(req)
+        tree.validate(req, shortest_paths=True)
+        # traffic is exactly the subcube size minus one (a spanning tree
+        # of the subcube)
+        assert tree.traffic == len(req.multicast_set) - 1
+
+    def test_tree_stays_inside_subcube(self):
+        cube = Hypercube(5)
+        rng = random.Random(2)
+        req = subcube_pattern(cube, 0b00110, 3, rng)
+        members = req.multicast_set
+        tree = subcube_multicast_route(req)
+        for u, v in tree.arcs:
+            assert u in members and v in members
+
+    def test_rejects_non_subcube(self):
+        cube = Hypercube(4)
+        req = MulticastRequest(cube, 0b0000, (0b0001, 0b0010, 0b1111))
+        with pytest.raises(ValueError):
+            subcube_multicast_route(req)
+
+    def test_rejects_wrong_size(self):
+        cube = Hypercube(4)
+        req = MulticastRequest(cube, 0b0000, (0b0001, 0b0010))
+        with pytest.raises(ValueError):
+            subcube_multicast_route(req)
+
+    def test_rejects_mesh(self):
+        from repro.topology import Mesh2D
+
+        with pytest.raises(TypeError):
+            subcube_multicast_route(
+                MulticastRequest(Mesh2D(4, 4), (0, 0), ((1, 0),))
+            )
+
+    def test_two_overlapping_subcube_multicasts_deadlock(self):
+        """The restriction does not save nCUBE-2 from Fig. 6.1: two
+        full-cube 'subcube' multicasts from adjacent sources wedge."""
+        from repro.sim import run_static_scenario
+
+        cube = Hypercube(3)
+        reqs = [
+            MulticastRequest(cube, 0, tuple(v for v in cube.nodes() if v != 0)),
+            MulticastRequest(cube, 1, tuple(v for v in cube.nodes() if v != 1)),
+        ]
+        for r in reqs:
+            subcube_multicast_route(r)  # both are legal subcube multicasts
+        res = run_static_scenario(cube, "ecube-tree", reqs)
+        assert not res.completed

@@ -1,0 +1,119 @@
+"""Tests for the multicast-based collective operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import barrier, broadcast_value, gather, reduce
+from repro.progmodel import Multicomputer
+from repro.topology import Hypercube, Mesh2D
+
+MEMBERS = [(0, 0), (3, 0), (0, 3), (3, 3), (1, 2)]
+MASTER = (0, 0)
+
+
+def run_collective(program_factory, scheme="dual-path", topo=None):
+    mc = Multicomputer(topo or Mesh2D(4, 4), scheme=scheme)
+    procs = {m: mc.spawn(m, program_factory(m)) for m in MEMBERS}
+    mc.run()
+    return mc, {m: p.value for m, p in procs.items()}
+
+
+class TestBarrier:
+    def test_all_pass_after_slowest_arrival(self):
+        arrival_delay = {m: i * 10e-6 for i, m in enumerate(MEMBERS)}
+
+        def make(node):
+            def program(api):
+                yield api.delay(arrival_delay[node])
+                t = yield from barrier(api, MASTER, MEMBERS)
+                return t
+
+            return program
+
+        mc, times = run_collective(make)
+        slowest = max(arrival_delay.values())
+        for m, t in times.items():
+            assert t >= slowest
+
+    def test_barrier_release_near_simultaneous(self):
+        def make(node):
+            def program(api):
+                t = yield from barrier(api, MASTER, MEMBERS)
+                return t
+
+            return program
+
+        mc, times = run_collective(make)
+        non_master = [t for m, t in times.items() if m != MASTER]
+        assert max(non_master) - min(non_master) < 20e-6
+
+    def test_repeated_barriers(self):
+        def make(node):
+            def program(api):
+                for _ in range(3):
+                    yield from barrier(api, MASTER, MEMBERS)
+                return api.now
+
+            return program
+
+        mc, times = run_collective(make)
+        assert all(t > 0 for t in times.values())
+
+
+class TestGatherReduce:
+    def test_gather_collects_all(self):
+        def make(node):
+            def program(api):
+                result = yield from gather(api, MASTER, MEMBERS, value=sum(node))
+                return result
+
+            return program
+
+        mc, values = run_collective(make)
+        assert values[MASTER] == {m: sum(m) for m in MEMBERS}
+        for m in MEMBERS:
+            if m != MASTER:
+                assert values[m] is None
+
+    def test_reduce_folds(self):
+        def make(node):
+            def program(api):
+                result = yield from reduce(
+                    api, MASTER, MEMBERS, value=sum(node), fold=lambda a, b: a + b
+                )
+                return result
+
+            return program
+
+        mc, values = run_collective(make)
+        assert values[MASTER] == sum(sum(m) for m in MEMBERS)
+
+    def test_broadcast_value(self):
+        def make(node):
+            def program(api):
+                v = yield from broadcast_value(api, MASTER, MEMBERS, value="payload")
+                return v
+
+            return program
+
+        mc, values = run_collective(make)
+        assert all(v == "payload" for v in values.values())
+
+
+class TestOnHypercube:
+    def test_barrier_on_cube_with_multipath(self):
+        cube = Hypercube(4)
+        members = [0, 3, 7, 12, 15]
+
+        def make(node):
+            def program(api):
+                t = yield from barrier(api, 0, members)
+                return t
+
+            return program
+
+        mc = Multicomputer(cube, scheme="multi-path")
+        procs = {m: mc.spawn(m, make(m)) for m in members}
+        mc.run()
+        assert all(p.triggered for p in procs.values())

@@ -1,0 +1,213 @@
+"""Tests for the exact optimal multicast solvers (Ch. 4) and
+optimality-gap sanity checks against the Chapter 5 heuristics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exact import (
+    held_karp_closed_walk_cost,
+    held_karp_walk_cost,
+    minimal_steiner_tree_cost,
+    optimal_multicast_cycle,
+    optimal_multicast_path,
+    optimal_multicast_star_cost,
+    optimal_multicast_tree_cost,
+    shortest_path_dag,
+    star_lower_bound,
+)
+from repro.heuristics import (
+    divided_greedy_route,
+    greedy_st_route,
+    sorted_mc_route,
+    sorted_mp_route,
+    xfirst_route,
+)
+from repro.models import MulticastRequest, random_multicast
+from repro.topology import Hypercube, Mesh2D
+
+
+class TestHeldKarpBounds:
+    def test_single_destination(self):
+        m = Mesh2D(5, 5)
+        assert held_karp_walk_cost(m, (0, 0), [(3, 4)]) == 7
+        assert held_karp_closed_walk_cost(m, (0, 0), [(3, 4)]) == 14
+
+    def test_two_destinations_order_matters(self):
+        m = Mesh2D(7, 1)
+        # source in the middle: visiting near side first is optimal
+        assert held_karp_walk_cost(m, (3, 0), [(0, 0), (6, 0)]) == 9
+
+    def test_walk_bound_below_path(self):
+        m = Mesh2D(4, 4)
+        rng = random.Random(1)
+        for _ in range(10):
+            req = random_multicast(m, 3, rng)
+            walk = held_karp_walk_cost(m, req.source, req.destinations)
+            assert walk <= optimal_multicast_path(req).traffic
+
+    def test_empty(self):
+        m = Mesh2D(3, 3)
+        assert held_karp_walk_cost(m, (0, 0), []) == 0
+        assert held_karp_closed_walk_cost(m, (0, 0), []) == 0
+
+
+class TestOptimalPathCycle:
+    def test_omp_simple_line(self):
+        m = Mesh2D(5, 1)
+        req = MulticastRequest(m, (0, 0), ((4, 0), (2, 0)))
+        assert optimal_multicast_path(req).traffic == 4
+
+    def test_omp_beats_or_ties_sorted_mp(self):
+        m = Mesh2D(4, 4)
+        rng = random.Random(2)
+        for _ in range(8):
+            req = random_multicast(m, 3, rng)
+            opt = optimal_multicast_path(req)
+            heur = sorted_mp_route(req)
+            assert opt.traffic <= heur.traffic
+            opt.validate(req)
+
+    def test_omc_valid_and_bounded(self):
+        m = Mesh2D(4, 4)
+        rng = random.Random(3)
+        for _ in range(5):
+            req = random_multicast(m, 3, rng)
+            opt = optimal_multicast_cycle(req)
+            opt.validate(req)
+            assert opt.traffic <= sorted_mc_route(req).traffic
+            assert opt.traffic >= held_karp_closed_walk_cost(
+                m, req.source, req.destinations
+            )
+
+    def test_omp_on_hypercube(self):
+        h = Hypercube(3)
+        req = MulticastRequest(h, 0, (0b111, 0b011))
+        opt = optimal_multicast_path(req)
+        assert opt.traffic == 3  # 000 -> 001 -> 011 -> 111
+
+    def test_sorted_mp_optimality_gap_small(self):
+        """On a 4x4 mesh with 3 destinations the heuristic stays within
+        3x of optimal (it is often optimal; the Hamilton-cycle
+        ordering can take detours)."""
+        m = Mesh2D(4, 4)
+        rng = random.Random(4)
+        for _ in range(10):
+            req = random_multicast(m, 3, rng)
+            assert sorted_mp_route(req).traffic <= 3 * optimal_multicast_path(req).traffic
+
+
+class TestMinimalSteinerTree:
+    def test_collinear(self):
+        m = Mesh2D(6, 1)
+        req = MulticastRequest(m, (0, 0), ((3, 0), (5, 0)))
+        assert minimal_steiner_tree_cost(req) == 5
+
+    def test_l_corner(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((2, 0), (0, 2)))
+        assert minimal_steiner_tree_cost(req) == 4
+
+    def test_plus_shape_steiner_point(self):
+        """Three terminals around a cross share the centre: a genuine
+        Steiner point saves length."""
+        m = Mesh2D(3, 3)
+        req = MulticastRequest(m, (1, 0), ((0, 1), (2, 1)))
+        # via centre (1,1): 1 + 1 + 1 = 3
+        assert minimal_steiner_tree_cost(req) == 3
+
+    def test_greedy_st_gap(self):
+        m = Mesh2D(5, 5)
+        rng = random.Random(5)
+        gaps = []
+        for _ in range(15):
+            req = random_multicast(m, 4, rng)
+            opt = minimal_steiner_tree_cost(req)
+            heur = greedy_st_route(req).traffic
+            assert heur >= opt
+            gaps.append(heur / opt)
+        assert sum(gaps) / len(gaps) <= 1.5
+
+    def test_hypercube_instance(self):
+        h = Hypercube(4)
+        rng = random.Random(6)
+        for _ in range(5):
+            req = random_multicast(h, 4, rng)
+            opt = minimal_steiner_tree_cost(req)
+            assert opt <= greedy_st_route(req).traffic
+            assert opt >= max(
+                h.distance(req.source, d) for d in req.destinations
+            )
+
+
+class TestOptimalMulticastTree:
+    def test_dag_structure(self):
+        m = Mesh2D(3, 3)
+        dag = shortest_path_dag(m, (0, 0))
+        assert set(dag[(0, 0)]) == {(1, 0), (0, 1)}
+        assert dag[(2, 2)] == []
+
+    def test_line(self):
+        m = Mesh2D(5, 1)
+        req = MulticastRequest(m, (0, 0), ((4, 0), (2, 0)))
+        assert optimal_multicast_tree_cost(req) == 4
+
+    def test_branching_saves(self):
+        m = Mesh2D(3, 3)
+        req = MulticastRequest(m, (1, 0), ((0, 2), (2, 2)))
+        # share the segment (1,0)-(1,1)-? ; optimal is 5 edges:
+        # (1,0)->(1,1)->(1,2) then branch to (0,2) and (2,2) = 4 edges? no:
+        # (1,0)-(1,1)-(1,2)=2, +(0,2) +(2,2) = 4 total.
+        assert optimal_multicast_tree_cost(req) == 4
+
+    def test_omt_at_most_xfirst_and_divided_greedy(self):
+        m = Mesh2D(5, 5)
+        rng = random.Random(7)
+        for _ in range(10):
+            req = random_multicast(m, 4, rng)
+            opt = optimal_multicast_tree_cost(req)
+            assert opt <= xfirst_route(req).traffic
+            assert opt <= divided_greedy_route(req).traffic
+
+    def test_omt_at_least_steiner(self):
+        """The shortest-path constraint can only increase cost."""
+        m = Mesh2D(5, 5)
+        rng = random.Random(8)
+        for _ in range(10):
+            req = random_multicast(m, 4, rng)
+            assert optimal_multicast_tree_cost(req) >= minimal_steiner_tree_cost(req)
+
+    def test_hypercube_omt(self):
+        h = Hypercube(4)
+        rng = random.Random(9)
+        for _ in range(5):
+            req = random_multicast(h, 4, rng)
+            opt = optimal_multicast_tree_cost(req)
+            from repro.heuristics import len_route
+
+            assert opt <= len_route(req).traffic
+            assert opt >= minimal_steiner_tree_cost(req)
+
+
+class TestOptimalStar:
+    def test_opposite_destinations_split(self):
+        m = Mesh2D(7, 1)
+        req = MulticastRequest(m, (3, 0), ((0, 0), (6, 0)))
+        # one path: 3+6=9; two paths: 3+3=6
+        assert optimal_multicast_star_cost(req) == 6
+
+    def test_single_destination(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((3, 3),))
+        assert optimal_multicast_star_cost(req) == 6
+
+    def test_star_cost_bounds(self):
+        m = Mesh2D(4, 4)
+        rng = random.Random(10)
+        for _ in range(6):
+            req = random_multicast(m, 3, rng)
+            cost = optimal_multicast_star_cost(req)
+            assert cost >= star_lower_bound(req)
+            assert cost <= optimal_multicast_path(req).traffic

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+    deadlock_demos = ("deadlock_demo", "barrier_synchronization", "switching_technologies")
+    assert "DEADLOCKED" not in out or path.stem in deadlock_demos

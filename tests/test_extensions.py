@@ -1,0 +1,247 @@
+"""Tests for the §8.2 future-work extensions: virtual-channel planes,
+adaptive path routing, mixed unicast/multicast traffic, and the snake
+labelings for 3D meshes and k-ary n-cubes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import (
+    BoustrophedonMesh3DLabeling,
+    SnakeTorusLabeling,
+    canonical_labeling,
+    snake_digits,
+    snake_index,
+)
+from repro.models import MulticastRequest, random_multicast
+from repro.sim import Router, SimConfig, run_dynamic, run_mixed
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from repro.wormhole import dual_path_route, fixed_path_route, full_star_cdg, is_acyclic, multi_path_route
+from repro.wormhole.virtual_channels import (
+    distribute_over_planes,
+    virtual_channel_route,
+)
+
+
+class TestSnakeIndex:
+    @pytest.mark.parametrize("radices", [(4,), (3, 4), (2, 3, 4), (5, 5)])
+    def test_roundtrip(self, radices):
+        size = 1
+        for r in radices:
+            size *= r
+        for i in range(size):
+            assert snake_index(snake_digits(i, radices), radices) == i
+
+    def test_consecutive_differ_one_digit(self):
+        radices = (3, 4, 5)
+        prev = snake_digits(0, radices)
+        for i in range(1, 60):
+            cur = snake_digits(i, radices)
+            diffs = [abs(a - b) for a, b in zip(prev, cur)]
+            assert sum(diffs) == 1
+            prev = cur
+
+
+class TestSnakeLabelings:
+    def test_mesh3d_hamiltonian(self):
+        for dims in [(2, 2, 2), (3, 3, 3), (4, 3, 2)]:
+            lab = BoustrophedonMesh3DLabeling(Mesh3D(*dims))
+            assert lab.is_hamiltonian()
+
+    def test_torus_hamiltonian(self):
+        for k, n in [(3, 2), (4, 2), (3, 3)]:
+            assert SnakeTorusLabeling(KAryNCube(k, n)).is_hamiltonian()
+
+    def test_mesh3d_routing_shortest_small(self):
+        m = Mesh3D(3, 3, 2)
+        lab = BoustrophedonMesh3DLabeling(m)
+        nodes = list(m.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u != v:
+                    assert len(lab.route_path(u, v)) - 1 == m.distance(u, v)
+
+    def test_torus_routing_valid(self):
+        t = KAryNCube(5, 2)
+        lab = SnakeTorusLabeling(t)
+        rng = random.Random(0)
+        nodes = list(t.nodes())
+        for _ in range(100):
+            u, v = rng.sample(nodes, 2)
+            path = lab.route_path(u, v)
+            assert path[0] == u and path[-1] == v
+            t.path_length(path)
+
+    def test_cdg_acyclic_for_new_topologies(self):
+        """Deadlock freedom extends to 3D meshes and tori (Ch. 8)."""
+        for topo in (Mesh3D(3, 2, 2), KAryNCube(4, 2)):
+            lab = canonical_labeling(topo)
+            assert is_acyclic(full_star_cdg(lab, "high"))
+            assert is_acyclic(full_star_cdg(lab, "low"))
+
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [lambda: Mesh3D(3, 3, 3), lambda: KAryNCube(4, 2)],
+    )
+    def test_star_routing_on_new_topologies(self, topo_factory):
+        topo = topo_factory()
+        rng = random.Random(1)
+        for _ in range(15):
+            req = random_multicast(topo, 6, rng)
+            for f in (dual_path_route, multi_path_route, fixed_path_route):
+                f(req).validate(req)
+
+
+class TestVirtualChannels:
+    def test_distribution_round_robin(self):
+        groups = distribute_over_planes(list("abcdef"), 3)
+        assert groups == [["a", "d"], ["b", "e"], ["c", "f"]]
+
+    def test_distribution_drops_empty(self):
+        assert distribute_over_planes(["a"], 4) == [["a"]]
+
+    def test_one_plane_equals_dual_path(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(2)
+        for _ in range(10):
+            req = random_multicast(m, 8, rng)
+            vc = virtual_channel_route(req, num_planes=1)
+            dp = dual_path_route(req)
+            assert vc.traffic == dp.traffic
+            assert set(map(frozenset, vc.partition)) == set(map(frozenset, dp.partition))
+
+    @pytest.mark.parametrize("planes", [1, 2, 4])
+    def test_routes_valid(self, planes):
+        m = Mesh2D(8, 8)
+        rng = random.Random(3)
+        for _ in range(15):
+            req = random_multicast(m, 10, rng)
+            star = virtual_channel_route(req, num_planes=planes)
+            star.validate(req)
+            assert len(star.paths) <= 2 * planes
+            assert len(star.planes) == len(star.paths)
+
+    def test_invalid_planes(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((1, 1),))
+        with pytest.raises(ValueError):
+            virtual_channel_route(req, num_planes=0)
+
+    def test_max_hops_decreases_with_planes(self):
+        """More planes -> shorter per-path itineraries on average."""
+        m = Mesh2D(8, 8)
+        rng = random.Random(4)
+        h1 = h4 = 0
+        for _ in range(25):
+            req = random_multicast(m, 16, rng)
+            h1 += virtual_channel_route(req, 1).max_hops()
+            h4 += virtual_channel_route(req, 4).max_hops()
+        assert h4 < h1
+
+    def test_dynamic_latency_improves_with_planes(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(
+            num_messages=300, num_destinations=15, mean_interarrival=200e-6, seed=8
+        )
+        lat = {
+            p: run_dynamic(m, f"virtual-channel-{p}", cfg).mean_latency
+            for p in (1, 4)
+        }
+        assert lat[4] < lat[1]
+
+    def test_vc1_matches_dual_path_dynamics(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(num_messages=200, seed=9)
+        a = run_dynamic(m, "virtual-channel-1", cfg)
+        b = run_dynamic(m, "dual-path", cfg)
+        assert a.mean_latency == pytest.approx(b.mean_latency)
+
+
+class TestAdaptiveRouting:
+    def test_same_deliveries_as_deterministic(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(num_messages=300, seed=5)
+        a = run_dynamic(m, "dual-path-adaptive", cfg)
+        d = run_dynamic(m, "dual-path", cfg)
+        assert a.deliveries == d.deliveries == 300 * cfg.num_destinations
+
+    def test_never_deadlocks_under_heavy_load(self):
+        m = Mesh2D(6, 6)
+        cfg = SimConfig(
+            num_messages=400, num_destinations=12, mean_interarrival=50e-6, seed=6
+        )
+        r = run_dynamic(m, "dual-path-adaptive", cfg)  # would raise on deadlock
+        assert r.deliveries == 400 * 12
+
+    def test_adaptive_not_worse_at_load(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(
+            num_messages=400, num_destinations=10, mean_interarrival=150e-6, seed=7
+        )
+        a = run_dynamic(m, "dual-path-adaptive", cfg)
+        d = run_dynamic(m, "dual-path", cfg)
+        assert a.mean_latency <= d.mean_latency * 1.1
+
+    def test_works_on_hypercube(self):
+        h = Hypercube(5)
+        cfg = SimConfig(num_messages=200, num_destinations=6, seed=8)
+        r = run_dynamic(h, "dual-path-adaptive", cfg)
+        assert r.deliveries == 200 * 6
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_uncontended_adaptive_latency_matches_deterministic(self, seed):
+        """With no contention the adaptive worm takes R's path exactly."""
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(num_messages=1, mean_interarrival=1.0, seed=seed)
+        a = run_dynamic(m, "dual-path-adaptive", cfg)
+        d = run_dynamic(m, "dual-path", cfg)
+        assert a.mean_latency == pytest.approx(d.mean_latency)
+
+
+class TestMixedTraffic:
+    def test_fraction_bounds(self):
+        m = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            run_mixed(m, "dual-path", SimConfig(num_messages=10), unicast_fraction=1.5)
+
+    def test_pure_unicast(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(num_messages=200, seed=10)
+        r = run_mixed(m, "dual-path", cfg, unicast_fraction=1.0)
+        assert r.unicast_latency.num_observations > 0
+        assert r.multicast_latency.num_observations == 0
+
+    def test_mixture_reports_both(self):
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(num_messages=300, mean_interarrival=250e-6, seed=11)
+        r = run_mixed(m, "multi-path", cfg, unicast_fraction=0.5)
+        assert r.unicast_latency.num_observations > 0
+        assert r.multicast_latency.num_observations > 0
+        # multicasts take at least as long as unicasts on average
+        assert r.multicast_latency.mean >= r.unicast_latency.mean * 0.8
+
+    def test_multicast_scheme_affects_unicast_latency(self):
+        """§8.2's question: fixed-path multicast hurts bystander
+        unicast traffic more than multi-path multicast does."""
+        m = Mesh2D(8, 8)
+        cfg = SimConfig(
+            num_messages=500, num_destinations=10, mean_interarrival=150e-6, seed=12
+        )
+        uni_multi = run_mixed(m, "multi-path", cfg, 0.5).unicast_latency.mean
+        uni_fixed = run_mixed(m, "fixed-path", cfg, 0.5).unicast_latency.mean
+        assert uni_multi < uni_fixed
+
+
+class TestRouterVCParsing:
+    def test_parse(self):
+        r = Router(Mesh2D(4, 4), "virtual-channel-3")
+        assert r.num_planes == 3
+
+    def test_bad_plane_count(self):
+        with pytest.raises(ValueError):
+            Router(Mesh2D(4, 4), "virtual-channel-0")

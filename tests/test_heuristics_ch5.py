@@ -1,0 +1,358 @@
+"""Tests for the Chapter 5 heuristic routing algorithms, including the
+worked examples of §5.4 (Figs. 5.7-5.12) as integration tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics import (
+    broadcast_route,
+    divided_greedy_route,
+    divided_greedy_step,
+    greedy_st_prepare,
+    greedy_st_route,
+    kmb_route,
+    len_route,
+    multiple_unicast_route,
+    sorted_mc_route,
+    sorted_mp_prepare,
+    sorted_mp_route,
+    virtual_tree_length,
+    xfirst_route,
+    xfirst_step,
+)
+from repro.labeling import canonical_cycle
+from repro.models import MulticastRequest, random_multicast
+from repro.topology import Hypercube, Mesh2D
+
+
+def mesh_id(node, width=4):
+    return node[1] * width + node[0]
+
+
+def from_id(i, width=4):
+    return (i % width, i // width)
+
+
+# ----------------------------------------------------------------------
+# Sorted MP / MC (§5.1)
+# ----------------------------------------------------------------------
+
+
+class TestSortedMP:
+    def test_fig_5_7_example(self):
+        """4x4 mesh, K = {9, 0, 1, 6, 12}, u0 = 9: the sorted MP path is
+        (9, 13, 12, 8, 4, 0, 1, 2, 6)."""
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, from_id(9), tuple(from_id(i) for i in (0, 1, 6, 12)))
+        mapping = canonical_cycle(m)
+        assert [mesh_id(v) for v in sorted_mp_prepare(req, mapping)] == [12, 0, 1, 6]
+        path = sorted_mp_route(req)
+        assert [mesh_id(v) for v in path.nodes] == [9, 13, 12, 8, 4, 0, 1, 2, 6]
+
+    def test_4cube_example_preparation(self):
+        """§5.4 MP-in-a-4-cube example: sorted order of the multicast set
+        K = {0011(src), 0100, 0111, 1100, 1010, 1111} by f keys."""
+        h = Hypercube(4)
+        req = MulticastRequest(
+            h, 0b0011, (0b0100, 0b0111, 0b1100, 0b1010, 0b1111)
+        )
+        mapping = canonical_cycle(h)
+        order = sorted_mp_prepare(req, mapping)
+        # f values (Table 5.4): 0111->6, 0100->8, 1100->9, 1111->11, 1010->13
+        assert order == [0b0111, 0b0100, 0b1100, 0b1111, 0b1010]
+
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_random_mesh_paths_valid(self, k):
+        m = Mesh2D(8, 8)
+        rng = random.Random(11)
+        for _ in range(25):
+            req = random_multicast(m, k, rng)
+            sorted_mp_route(req).validate(req)
+
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_random_cube_paths_valid(self, k):
+        h = Hypercube(5)
+        rng = random.Random(12)
+        for _ in range(25):
+            req = random_multicast(h, k, rng)
+            sorted_mp_route(req).validate(req)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_path_mesh(self, seed):
+        m = Mesh2D(6, 6)
+        rng = random.Random(seed)
+        req = random_multicast(m, rng.randrange(1, 12), rng)
+        path = sorted_mp_route(req)
+        path.validate(req)
+        # traffic never exceeds a full Hamilton traversal
+        assert path.traffic <= m.num_nodes
+
+    def test_visits_destinations_in_f_order(self):
+        m = Mesh2D(6, 6)
+        rng = random.Random(5)
+        mapping = canonical_cycle(m)
+        for _ in range(10):
+            req = random_multicast(m, 6, rng)
+            path = sorted_mp_route(req)
+            visited = [v for v in path.nodes if v in set(req.destinations)]
+            keys = [mapping.f(v, req.source) for v in visited]
+            assert keys == sorted(keys)
+
+
+class TestSortedMC:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_random_mesh_cycles_valid(self, k):
+        m = Mesh2D(6, 6)
+        rng = random.Random(21)
+        for _ in range(25):
+            req = random_multicast(m, k, rng)
+            cyc = sorted_mc_route(req)
+            cyc.validate(req)
+
+    @pytest.mark.parametrize("k", [1, 6])
+    def test_random_cube_cycles_valid(self, k):
+        h = Hypercube(4)
+        rng = random.Random(22)
+        for _ in range(25):
+            req = random_multicast(h, k, rng)
+            sorted_mc_route(req).validate(req)
+
+    def test_cycle_traffic_at_least_path(self):
+        m = Mesh2D(6, 6)
+        rng = random.Random(23)
+        for _ in range(10):
+            req = random_multicast(m, 5, rng)
+            assert sorted_mc_route(req).traffic >= sorted_mp_route(req).traffic
+
+
+# ----------------------------------------------------------------------
+# Greedy ST (§5.2)
+# ----------------------------------------------------------------------
+
+
+class TestGreedyST:
+    def test_fig_5_9_virtual_tree(self):
+        """8x8 mesh, source (2,7), dests [0,5],[2,3],[4,1],[6,3],[7,4]:
+        the source's virtual Steiner tree of §5.4."""
+        m = Mesh2D(8, 8)
+        req = MulticastRequest(m, (2, 7), ((0, 5), (2, 3), (4, 1), (6, 3), (7, 4)))
+        tree = greedy_st_route(req)
+        expected = {
+            ((2, 7), (2, 5)), ((2, 5), (0, 5)), ((2, 5), (2, 3)),
+            ((2, 3), (4, 3)), ((4, 3), (4, 1)), ((4, 3), (6, 3)), ((6, 3), (7, 4)),
+        }
+        assert set(tree.virtual_edges) == expected
+        assert tree.traffic == virtual_tree_length(m, tree.virtual_edges) == 14
+
+    def test_6cube_example_first_junction(self):
+        """§5.4 6-cube example: first junction is 000101."""
+        h = Hypercube(6)
+        src = h.from_bits("000110")
+        dests = tuple(
+            h.from_bits(b) for b in ("010101", "000001", "001101", "101001", "110001")
+        )
+        req = MulticastRequest(h, src, dests)
+        prep = greedy_st_prepare(req)
+        assert prep[0] == src
+        tree = greedy_st_route(req)
+        virtual_nodes = {v for e in tree.virtual_edges for v in e}
+        assert h.from_bits("000101") in virtual_nodes
+        tree.validate(req)
+
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_random_mesh_trees_valid(self, k):
+        m = Mesh2D(8, 8)
+        rng = random.Random(31)
+        for _ in range(25):
+            req = random_multicast(m, k, rng)
+            greedy_st_route(req).validate(req)
+
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_random_cube_trees_valid(self, k):
+        h = Hypercube(5)
+        rng = random.Random(32)
+        for _ in range(25):
+            req = random_multicast(h, k, rng)
+            greedy_st_route(req).validate(req)
+
+    def test_never_worse_than_multiple_unicast(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(33)
+        for _ in range(20):
+            req = random_multicast(m, 8, rng)
+            assert greedy_st_route(req).traffic <= multiple_unicast_route(req).traffic
+
+    def test_resort_variant_valid_and_competitive(self):
+        """The resort-at-replicate-nodes strengthening stays valid and
+        does not lose on average."""
+        m = Mesh2D(16, 16)
+        rng = random.Random(35)
+        plain = strengthened = 0
+        for _ in range(25):
+            req = random_multicast(m, 10, rng)
+            a = greedy_st_route(req)
+            b = greedy_st_route(req, resort=True)
+            b.validate(req)
+            plain += a.traffic
+            strengthened += b.traffic
+        assert strengthened <= plain * 1.02
+
+    def test_usually_beats_kmb_or_ties(self):
+        """§5.2: 'our algorithm is at least as good as KMB in the worst
+        case' — statistically the greedy ST should not lose on average."""
+        h = Hypercube(6)
+        rng = random.Random(34)
+        st_total = kmb_total = 0
+        for _ in range(30):
+            req = random_multicast(h, 8, rng)
+            st_total += greedy_st_route(req).traffic
+            kmb_total += kmb_route(req).traffic
+        assert st_total <= kmb_total * 1.05
+
+
+# ----------------------------------------------------------------------
+# X-first and divided greedy MT (§5.3)
+# ----------------------------------------------------------------------
+
+EXAMPLE_6x6_DESTS = (
+    (2, 0), (3, 0), (4, 0), (1, 1), (5, 1), (0, 2), (1, 3), (2, 5), (3, 5), (5, 5),
+)
+
+
+class TestXFirst:
+    def test_fig_5_11_partition(self):
+        deliver, groups = xfirst_step((3, 2), EXAMPLE_6x6_DESTS)
+        assert not deliver
+        assert set(groups[(4, 2)]) == {(4, 0), (5, 1), (5, 5)}
+        assert set(groups[(2, 2)]) == {(2, 0), (1, 1), (0, 2), (1, 3), (2, 5)}
+        assert groups[(3, 3)] == [(3, 5)]
+        assert groups[(3, 1)] == [(3, 0)]
+
+    def test_fig_5_11_traffic(self):
+        """Traffic of the X-first pattern.  The dissertation text says 24
+        but hand-counting its own Fig. 5.11 pattern gives 23; we assert
+        the recount (see EXPERIMENTS.md)."""
+        m = Mesh2D(6, 6)
+        req = MulticastRequest(m, (3, 2), EXAMPLE_6x6_DESTS)
+        tree = xfirst_route(req)
+        assert tree.traffic == 23
+
+    @pytest.mark.parametrize("k", [1, 6, 15])
+    def test_random_trees_shortest_paths(self, k):
+        m = Mesh2D(8, 8)
+        rng = random.Random(41)
+        for _ in range(25):
+            req = random_multicast(m, k, rng)
+            xfirst_route(req).validate(req, shortest_paths=True)
+
+
+class TestDividedGreedy:
+    def test_fig_5_12_partition(self):
+        deliver, groups = divided_greedy_step((3, 2), EXAMPLE_6x6_DESTS)
+        assert not deliver
+        assert set(groups[(3, 3)]) == {(3, 5), (2, 5), (5, 5)}
+        assert set(groups[(2, 2)]) == {(0, 2), (1, 3), (1, 1)}
+        assert set(groups[(3, 1)]) == {(3, 0), (2, 0), (4, 0), (5, 1)}
+        assert (4, 2) not in groups
+
+    def test_fig_5_12_traffic_below_xfirst(self):
+        m = Mesh2D(6, 6)
+        req = MulticastRequest(m, (3, 2), EXAMPLE_6x6_DESTS)
+        assert divided_greedy_route(req).traffic < xfirst_route(req).traffic
+
+    @pytest.mark.parametrize("k", [1, 6, 15])
+    def test_random_trees_shortest_paths(self, k):
+        m = Mesh2D(8, 8)
+        rng = random.Random(42)
+        for _ in range(25):
+            req = random_multicast(m, k, rng)
+            divided_greedy_route(req).validate(req, shortest_paths=True)
+
+    def test_on_average_beats_xfirst(self):
+        m = Mesh2D(16, 16)
+        rng = random.Random(43)
+        dg = xf = 0
+        for _ in range(40):
+            req = random_multicast(m, 12, rng)
+            dg += divided_greedy_route(req).traffic
+            xf += xfirst_route(req).traffic
+        assert dg < xf
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_shortest_paths(self, seed):
+        m = Mesh2D(7, 5)
+        rng = random.Random(seed)
+        req = random_multicast(m, rng.randrange(1, 10), rng)
+        divided_greedy_route(req).validate(req, shortest_paths=True)
+
+
+# ----------------------------------------------------------------------
+# LEN and baselines
+# ----------------------------------------------------------------------
+
+
+class TestLEN:
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_random_trees_shortest_paths(self, k):
+        h = Hypercube(5)
+        rng = random.Random(51)
+        for _ in range(25):
+            req = random_multicast(h, k, rng)
+            len_route(req).validate(req, shortest_paths=True)
+
+    def test_shares_common_dimension(self):
+        h = Hypercube(4)
+        # both destinations differ from source in bit 3; LEN forwards
+        # them together across that dimension
+        req = MulticastRequest(h, 0b0000, (0b1001, 0b1010))
+        tree = len_route(req)
+        assert tree.traffic == 3  # shared first hop + one hop each
+
+    def test_greedy_st_on_average_beats_len(self):
+        """The Fig. 7.4 claim: greedy ST improves on LEN traffic."""
+        h = Hypercube(6)
+        rng = random.Random(52)
+        st_total = len_total = 0
+        for _ in range(40):
+            req = random_multicast(h, 10, rng)
+            st_total += greedy_st_route(req).traffic
+            len_total += len_route(req).traffic
+        assert st_total < len_total
+
+    def test_requires_hypercube(self):
+        with pytest.raises(TypeError):
+            len_route(MulticastRequest(Mesh2D(4, 4), (0, 0), ((1, 1),)))
+
+
+class TestBaselines:
+    def test_multiple_unicast_traffic(self):
+        m = Mesh2D(8, 8)
+        req = MulticastRequest(m, (0, 0), ((3, 0), (0, 4)))
+        assert multiple_unicast_route(req).traffic == 7
+
+    def test_broadcast_traffic_always_n_minus_1(self):
+        for topo in (Mesh2D(5, 5), Hypercube(4)):
+            rng = random.Random(61)
+            req = random_multicast(topo, 3, rng)
+            assert broadcast_route(req).traffic == topo.num_nodes - 1
+
+    def test_kmb_valid(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(62)
+        for _ in range(20):
+            req = random_multicast(m, 6, rng)
+            kmb_route(req).validate(req)
+
+    def test_kmb_never_worse_than_unicast(self):
+        h = Hypercube(5)
+        rng = random.Random(63)
+        for _ in range(20):
+            req = random_multicast(h, 6, rng)
+            assert kmb_route(req).traffic <= multiple_unicast_route(req).traffic

@@ -1,0 +1,259 @@
+"""Tests for Hamiltonian labelings and cycle mappings (§5.1, §6.2.2, §6.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.labeling import (
+    BoustrophedonMeshLabeling,
+    GrayCodeLabeling,
+    HamiltonCycleMapping,
+    SpiralMeshLabeling,
+    canonical_cycle,
+    canonical_labeling,
+    gray_decode,
+    gray_encode,
+    hypercube_hamiltonian_cycle,
+    mesh_hamiltonian_cycle,
+)
+from repro.topology import Hypercube, KAryNCube, Mesh2D
+
+
+class TestBoustrophedonLabeling:
+    def test_fig_6_9_labels(self):
+        """The 4x3 mesh labeling of Fig. 6.9."""
+        lab = BoustrophedonMeshLabeling(Mesh2D(4, 3))
+        expected = {
+            (0, 0): 0, (1, 0): 1, (2, 0): 2, (3, 0): 3,
+            (3, 1): 4, (2, 1): 5, (1, 1): 6, (0, 1): 7,
+            (0, 2): 8, (1, 2): 9, (2, 2): 10, (3, 2): 11,
+        }
+        for node, label in expected.items():
+            assert lab.label(node) == label
+            assert lab.node_of(label) == node
+
+    @pytest.mark.parametrize("w,h", [(2, 2), (4, 3), (3, 4), (6, 6), (5, 5)])
+    def test_is_hamiltonian(self, w, h):
+        assert BoustrophedonMeshLabeling(Mesh2D(w, h)).is_hamiltonian()
+
+    def test_bijection(self):
+        lab = BoustrophedonMeshLabeling(Mesh2D(5, 4))
+        labels = {lab.label(v) for v in lab.topology.nodes()}
+        assert labels == set(range(20))
+
+    @pytest.mark.parametrize("w,h", [(4, 3), (6, 6), (5, 4)])
+    def test_route_path_is_shortest(self, w, h):
+        """Lemma 6.1: R selects shortest, label-monotone paths."""
+        mesh = Mesh2D(w, h)
+        lab = BoustrophedonMeshLabeling(mesh)
+        nodes = list(mesh.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u == v:
+                    continue
+                path = lab.route_path(u, v)
+                assert len(path) - 1 == mesh.distance(u, v)
+                labels = [lab.label(p) for p in path]
+                if lab.label(u) < lab.label(v):
+                    assert labels == sorted(labels)
+                else:
+                    assert labels == sorted(labels, reverse=True)
+
+    def test_high_low_channels_partition(self):
+        mesh = Mesh2D(4, 4)
+        lab = BoustrophedonMeshLabeling(mesh)
+        high = set(lab.high_channels())
+        low = set(lab.low_channels())
+        assert high.isdisjoint(low)
+        assert len(high) + len(low) == mesh.num_channels
+        assert {(v, u) for u, v in high} == low
+
+
+class TestSpiralLabeling:
+    def test_is_hamiltonian(self):
+        for w, h in [(3, 3), (4, 4), (5, 4), (6, 6)]:
+            assert SpiralMeshLabeling(Mesh2D(w, h)).is_hamiltonian()
+
+    def test_not_shortest_path_preserving(self):
+        """The ablation property (cf. Fig. 6.10): a valid Hamiltonian
+        labeling whose routing function takes detours."""
+        mesh = Mesh2D(6, 6)
+        lab = SpiralMeshLabeling(mesh)
+        stretched = 0
+        nodes = list(mesh.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u != v and len(lab.route_path(u, v)) - 1 > mesh.distance(u, v):
+                    stretched += 1
+        assert stretched > 0
+
+
+class TestGrayLabeling:
+    def test_gray_roundtrip(self):
+        for i in range(256):
+            assert gray_decode(gray_encode(i)) == i
+
+    def test_consecutive_codewords_adjacent(self):
+        h = Hypercube(6)
+        for i in range(63):
+            assert h.distance(gray_encode(i), gray_encode(i + 1)) == 1
+
+    def test_label_formula_matches_paper(self):
+        """§6.3 formula: bit i of l(v) is XOR of address bits n-1..i."""
+        h = Hypercube(5)
+        lab = GrayCodeLabeling(h)
+        for v in range(32):
+            expected = 0
+            for i in range(5):
+                x = 0
+                for j in range(i, 5):
+                    x ^= (v >> j) & 1
+                expected |= x << i
+            assert lab.label(v) == expected
+
+    def test_fig_6_19_source_label(self):
+        lab = GrayCodeLabeling(Hypercube(4))
+        assert lab.label(0b1100) == 8
+        # destination labels from the Fig. 6.19 worked example
+        assert lab.label(0b0100) == 7
+        assert lab.label(0b0011) == 2
+        assert lab.label(0b0111) == 5
+        assert lab.label(0b1000) == 15
+        assert lab.label(0b1111) == 10
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_is_hamiltonian(self, n):
+        assert GrayCodeLabeling(Hypercube(n)).is_hamiltonian()
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_route_path_is_shortest(self, n):
+        """Lemma 6.4: R selects shortest, label-monotone paths."""
+        cube = Hypercube(n)
+        lab = GrayCodeLabeling(cube)
+        for u in cube.nodes():
+            for v in cube.nodes():
+                if u == v:
+                    continue
+                path = lab.route_path(u, v)
+                assert len(path) - 1 == cube.distance(u, v)
+                labels = [lab.label(p) for p in path]
+                assert labels == sorted(labels) or labels == sorted(labels, reverse=True)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_path_shortest_property_6cube(self, u, v):
+        cube = Hypercube(6)
+        lab = GrayCodeLabeling(cube)
+        if u != v:
+            assert len(lab.route_path(u, v)) - 1 == cube.distance(u, v)
+
+
+class TestCanonicalFactories:
+    def test_canonical_labeling_dispatch(self):
+        from repro.labeling import BoustrophedonMesh3DLabeling, SnakeTorusLabeling
+        from repro.topology import Mesh3D
+
+        assert isinstance(canonical_labeling(Mesh2D(3, 3)), BoustrophedonMeshLabeling)
+        assert isinstance(canonical_labeling(Hypercube(3)), GrayCodeLabeling)
+        assert isinstance(canonical_labeling(Mesh3D(2, 2, 2)), BoustrophedonMesh3DLabeling)
+        assert isinstance(canonical_labeling(KAryNCube(3, 2)), SnakeTorusLabeling)
+        with pytest.raises(TypeError):
+            canonical_labeling(object())
+
+    def test_canonical_cycle_dispatch(self):
+        assert canonical_cycle(Mesh2D(4, 4)).m == 16
+        assert canonical_cycle(Hypercube(3)).m == 8
+        with pytest.raises(TypeError):
+            canonical_cycle(KAryNCube(3, 2))
+
+
+class TestHamiltonCycles:
+    @pytest.mark.parametrize("w,h", [(2, 2), (4, 4), (4, 3), (3, 4), (5, 4), (4, 5), (2, 6)])
+    def test_mesh_cycle_valid(self, w, h):
+        mesh = Mesh2D(w, h)
+        cyc = mesh_hamiltonian_cycle(mesh)
+        assert len(cyc) == mesh.num_nodes
+        assert len(set(cyc)) == mesh.num_nodes
+        closed = cyc + [cyc[0]]
+        for a, b in zip(closed, closed[1:]):
+            assert mesh.are_adjacent(a, b)
+
+    def test_mesh_cycle_odd_odd_raises(self):
+        with pytest.raises(ValueError):
+            mesh_hamiltonian_cycle(Mesh2D(3, 3))
+
+    def test_mesh_cycle_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            mesh_hamiltonian_cycle(Mesh2D(1, 4))
+
+    def test_table_5_1(self):
+        """Table 5.1: the canonical 4x4 cycle in integer addressing."""
+        cyc = mesh_hamiltonian_cycle(Mesh2D(4, 4))
+        ids = [y * 4 + x for (x, y) in cyc]
+        assert ids == [0, 1, 2, 3, 7, 6, 5, 9, 10, 11, 15, 14, 13, 12, 8, 4]
+
+    def test_table_5_3(self):
+        """Table 5.3: the canonical 4-cube Gray cycle."""
+        h = Hypercube(4)
+        cyc = hypercube_hamiltonian_cycle(h)
+        expected = [
+            "0000", "0001", "0011", "0010", "0110", "0111", "0101", "0100",
+            "1100", "1101", "1111", "1110", "1010", "1011", "1001", "1000",
+        ]
+        assert [h.bits(v) for v in cyc] == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_cube_cycle_valid(self, n):
+        cube = Hypercube(n)
+        cyc = hypercube_hamiltonian_cycle(cube)
+        closed = cyc + [cyc[0]]
+        assert len(set(cyc)) == cube.num_nodes
+        for a, b in zip(closed, closed[1:]):
+            assert cube.are_adjacent(a, b)
+
+
+class TestHamiltonCycleMapping:
+    def test_table_5_2_keys(self):
+        """Table 5.2: sorting keys f for the 4x4 mesh with u0 = node 9."""
+        mesh = Mesh2D(4, 4)
+        mapping = canonical_cycle(mesh)
+        u0 = (1, 2)  # integer id 9
+        expected_f = {
+            0: 17, 1: 18, 2: 19, 3: 20, 4: 16, 5: 23, 6: 22, 7: 21,
+            8: 15, 9: 8, 10: 9, 11: 10, 12: 14, 13: 13, 14: 12, 15: 11,
+        }
+        for i, f in expected_f.items():
+            node = (i % 4, i // 4)
+            assert mapping.f(node, u0) == f
+
+    def test_table_5_4_keys(self):
+        """Table 5.4: sorting keys f for the 4-cube with u0 = 0011."""
+        cube = Hypercube(4)
+        mapping = canonical_cycle(cube)
+        u0 = 0b0011
+        expected = {
+            0b0000: 17, 0b0001: 18, 0b0010: 4, 0b0011: 3,
+            0b0100: 8, 0b0101: 7, 0b0110: 5, 0b0111: 6,
+            0b1000: 16, 0b1001: 15, 0b1010: 13, 0b1011: 14,
+            0b1100: 9, 0b1101: 10, 0b1110: 12, 0b1111: 11,
+        }
+        for node, f in expected.items():
+            assert mapping.f(node, u0) == f
+
+    def test_rejects_bad_cycle(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            HamiltonCycleMapping(mesh, [(0, 0), (1, 1), (1, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            HamiltonCycleMapping(mesh, [(0, 0), (1, 0)])
+
+    def test_h_positions(self):
+        mesh = Mesh2D(4, 4)
+        mapping = canonical_cycle(mesh)
+        assert mapping.h((0, 0)) == 1
+        assert mapping.h((0, 1)) == 16
+        table = mapping.table()
+        assert table[0] == ((0, 0), 1)

@@ -1,0 +1,113 @@
+"""Tests for channel-load analysis and the numpy distance matrices."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.heuristics import multiple_unicast_route, xfirst_route
+from repro.metrics.load import (
+    channel_loads,
+    gini_coefficient,
+    load_summary,
+    route_arc_list,
+)
+from repro.models import MulticastRequest, random_multicast
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from repro.wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([3, 3, 3, 3]) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        assert gini_coefficient([0] * 99 + [100]) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        a = [1, 2, 3, 4]
+        b = [10, 20, 30, 40]
+        assert gini_coefficient(a) == pytest.approx(gini_coefficient(b))
+
+
+class TestRouteArcList:
+    def test_multiplicity_preserved(self):
+        m = Mesh2D(6, 6)
+        req = MulticastRequest(m, (0, 0), ((3, 0), (3, 1)))
+        tree = multiple_unicast_route(req)
+        arcs = route_arc_list(tree)
+        # both unicasts cross (0,0)->(1,0) etc.: arcs repeat
+        assert len(arcs) == tree.traffic
+        assert len(set(arcs)) < len(arcs)
+
+    def test_star_arcs(self):
+        m = Mesh2D(6, 6)
+        req = MulticastRequest(m, (3, 3), ((0, 0), (5, 5)))
+        star = dual_path_route(req)
+        assert len(route_arc_list(star)) == star.traffic
+
+
+class TestLoadSummary:
+    def make_routes(self, algo, n=40, k=8, seed=0):
+        m = Mesh2D(8, 8)
+        rng = random.Random(seed)
+        return m, [algo(random_multicast(m, k, rng)) for _ in range(n)]
+
+    def test_totals_match_traffic(self):
+        m, routes = self.make_routes(xfirst_route)
+        summary = load_summary(m, routes)
+        assert summary.total_transmissions == sum(r.traffic for r in routes)
+        assert 0 < summary.channels_used <= summary.channels_total
+        assert summary.channels_total == m.num_channels
+
+    def test_fixed_path_concentrates_load(self):
+        """Fixed-path funnels traffic along the Hamiltonian path, so its
+        load distribution is more unequal than multi-path's (§2.3.2's
+        imbalance concern; the static face of Fig. 7.11)."""
+        m, fixed = self.make_routes(fixed_path_route)
+        _, multi = self.make_routes(multi_path_route)
+        g_fixed = load_summary(m, fixed).gini
+        g_multi = load_summary(m, multi).gini
+        assert g_fixed > g_multi
+
+    def test_peak_to_mean_sane(self):
+        m, routes = self.make_routes(dual_path_route)
+        s = load_summary(m, routes)
+        assert s.peak_to_mean >= 1.0
+        assert s.max_load >= s.mean_load
+
+    def test_channel_loads_counter(self):
+        m, routes = self.make_routes(dual_path_route, n=5)
+        loads = channel_loads(routes)
+        assert sum(loads.values()) == sum(r.traffic for r in routes)
+
+
+class TestDistanceMatrix:
+    @pytest.mark.parametrize(
+        "topo",
+        [Mesh2D(5, 4), Mesh3D(3, 2, 2), Hypercube(5), KAryNCube(4, 2)],
+        ids=lambda t: repr(t),
+    )
+    def test_matches_scalar_distance(self, topo):
+        M = topo.distance_matrix()
+        assert M.shape == (topo.num_nodes, topo.num_nodes)
+        nodes = list(topo.nodes())
+        rng = random.Random(1)
+        for _ in range(40):
+            i, j = rng.randrange(len(nodes)), rng.randrange(len(nodes))
+            assert M[i, j] == topo.distance(nodes[i], nodes[j])
+
+    def test_symmetric_zero_diagonal(self):
+        M = Hypercube(6).distance_matrix()
+        assert (M == M.T).all()
+        assert (np.diag(M) == 0).all()
+
+    def test_mesh_matrix_max_is_diameter(self):
+        m = Mesh2D(6, 6)
+        assert int(m.distance_matrix().max()) == m.diameter()

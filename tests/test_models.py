@@ -1,0 +1,205 @@
+"""Tests for multicast request/result models (Ch. 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.models import (
+    InvalidRouteError,
+    MulticastCycle,
+    MulticastPath,
+    MulticastRequest,
+    MulticastStar,
+    MulticastTree,
+    random_multicast,
+)
+from repro.topology import Hypercube, Mesh2D
+
+
+class TestMulticastRequest:
+    def test_basic(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((1, 1), (2, 2)))
+        assert req.k == 2
+        assert req.multicast_set == frozenset({(0, 0), (1, 1), (2, 2)})
+
+    def test_rejects_source_in_destinations(self):
+        m = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            MulticastRequest(m, (0, 0), ((0, 0),))
+
+    def test_rejects_duplicates(self):
+        m = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            MulticastRequest(m, (0, 0), ((1, 1), (1, 1)))
+
+    def test_rejects_foreign_nodes(self):
+        m = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            MulticastRequest(m, (0, 0), ((9, 9),))
+        with pytest.raises(ValueError):
+            MulticastRequest(m, (9, 9), ((1, 1),))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MulticastRequest(Mesh2D(4, 4), (0, 0), ())
+
+
+class TestRandomMulticast:
+    def test_counts_and_distinctness(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(7)
+        for k in (1, 5, 30):
+            req = random_multicast(m, k, rng)
+            assert req.k == k
+            assert len(set(req.destinations)) == k
+            assert req.source not in req.destinations
+
+    def test_numpy_rng(self):
+        import numpy as np
+
+        h = Hypercube(5)
+        req = random_multicast(h, 10, np.random.default_rng(0))
+        assert req.k == 10
+
+    def test_fixed_source(self):
+        m = Mesh2D(4, 4)
+        req = random_multicast(m, 3, random.Random(0), source=(2, 2))
+        assert req.source == (2, 2)
+
+    def test_k_bounds(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            random_multicast(m, 4, random.Random(0))
+        with pytest.raises(ValueError):
+            random_multicast(m, 0, random.Random(0))
+
+
+class TestMulticastPath:
+    def setup_method(self):
+        self.m = Mesh2D(4, 4)
+        self.req = MulticastRequest(self.m, (0, 0), ((2, 0), (2, 1)))
+
+    def test_valid_path(self):
+        p = MulticastPath(self.m, ((0, 0), (1, 0), (2, 0), (2, 1)))
+        p.validate(self.req)
+        assert p.traffic == 3
+        assert p.dest_hops(self.req.destinations) == {(2, 0): 2, (2, 1): 3}
+        assert p.max_hops(self.req.destinations) == 3
+
+    def test_missing_destination(self):
+        p = MulticastPath(self.m, ((0, 0), (1, 0), (2, 0)))
+        with pytest.raises(InvalidRouteError):
+            p.validate(self.req)
+
+    def test_revisit_rejected(self):
+        p = MulticastPath(self.m, ((0, 0), (1, 0), (0, 0), (0, 1)))
+        with pytest.raises(InvalidRouteError):
+            p.validate(self.req)
+
+    def test_wrong_start(self):
+        p = MulticastPath(self.m, ((1, 0), (2, 0), (2, 1)))
+        with pytest.raises(InvalidRouteError):
+            p.validate(self.req)
+
+    def test_nonadjacent_rejected(self):
+        p = MulticastPath(self.m, ((0, 0), (2, 0), (2, 1)))
+        with pytest.raises(ValueError):
+            p.validate(self.req)
+
+
+class TestMulticastCycle:
+    def test_valid_cycle(self):
+        m = Mesh2D(2, 2)
+        req = MulticastRequest(m, (0, 0), ((1, 1),))
+        c = MulticastCycle(m, ((0, 0), (1, 0), (1, 1), (0, 1)))
+        c.validate(req)
+        assert c.traffic == 4  # 3 path edges + the closing edge
+
+    def test_open_cycle_rejected(self):
+        m = Mesh2D(3, 3)
+        req = MulticastRequest(m, (0, 0), ((2, 0),))
+        c = MulticastCycle(m, ((0, 0), (1, 0), (2, 0)))  # (2,0)-(0,0) not a link
+        with pytest.raises(ValueError):
+            c.validate(req)
+
+
+class TestMulticastTree:
+    def test_traffic_counts_repeated_links(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((2, 0),))
+        arcs = (((0, 0), (1, 0)), ((0, 0), (1, 0)), ((1, 0), (2, 0)))
+        t = MulticastTree(m, (0, 0), arcs)
+        assert t.traffic == 3
+        t.validate(req)
+
+    def test_shortest_path_check(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((1, 1),))
+        detour = (((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1)), ((2, 1), (1, 1)))
+        t = MulticastTree(m, (0, 0), detour)
+        t.validate(req)  # fine without the constraint
+        with pytest.raises(InvalidRouteError):
+            t.validate(req, shortest_paths=True)
+
+    def test_unreached_destination(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((3, 3),))
+        t = MulticastTree(m, (0, 0), (((0, 0), (1, 0)),))
+        with pytest.raises(InvalidRouteError):
+            t.validate(req)
+
+    def test_bad_arc(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (0, 0), ((1, 0),))
+        t = MulticastTree(m, (0, 0), (((0, 0), (2, 0)),))
+        with pytest.raises(InvalidRouteError):
+            t.validate(req)
+
+
+class TestMulticastStar:
+    def test_valid_star(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (1, 1), ((3, 1), (0, 1)))
+        star = MulticastStar(
+            m,
+            (1, 1),
+            paths=(((1, 1), (2, 1), (3, 1)), ((1, 1), (0, 1))),
+            partition=(((3, 1),), ((0, 1),)),
+        )
+        star.validate(req)
+        assert star.traffic == 3
+        assert star.dest_hops() == {(3, 1): 2, (0, 1): 1}
+        assert star.max_hops() == 2
+
+    def test_partition_must_cover(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (1, 1), ((3, 1), (0, 1)))
+        star = MulticastStar(
+            m, (1, 1), paths=(((1, 1), (2, 1), (3, 1)),), partition=(((3, 1),),)
+        )
+        with pytest.raises(InvalidRouteError):
+            star.validate(req)
+
+    def test_partition_disjoint(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (1, 1), ((3, 1),))
+        star = MulticastStar(
+            m,
+            (1, 1),
+            paths=(((1, 1), (2, 1), (3, 1)), ((1, 1), (2, 1), (3, 1))),
+            partition=(((3, 1),), ((3, 1),)),
+        )
+        with pytest.raises(InvalidRouteError):
+            star.validate(req)
+
+    def test_path_must_contain_its_destinations(self):
+        m = Mesh2D(4, 4)
+        req = MulticastRequest(m, (1, 1), ((3, 1),))
+        star = MulticastStar(
+            m, (1, 1), paths=(((1, 1), (2, 1)),), partition=(((3, 1),),)
+        )
+        with pytest.raises(InvalidRouteError):
+            star.validate(req)

@@ -1,0 +1,246 @@
+"""Tests for the programming-model layer, circuit switching, fault
+tolerance and the CI-driven stopping rule."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.models import MulticastRequest, random_multicast
+from repro.progmodel import Multicomputer
+from repro.sim import Environment, SimConfig, WormholeNetwork, run_until_confident
+from repro.sim.circuit import inject_circuit_path
+from repro.topology import Hypercube, Mesh2D
+from repro.wormhole import (
+    Unroutable,
+    fault_tolerant_dual_path,
+    fault_tolerant_path,
+    routability,
+)
+from repro.labeling import canonical_labeling
+
+
+class TestProgrammingModel:
+    def test_send_recv_roundtrip(self):
+        mc = Multicomputer(Mesh2D(4, 4))
+        got = []
+
+        def sender(api):
+            yield api.send((3, 3), payload={"x": 1})
+
+        def receiver(api):
+            source, payload = yield api.recv()
+            got.append((source, payload, api.now))
+
+        mc.spawn((0, 0), sender)
+        mc.spawn((3, 3), receiver)
+        mc.run()
+        assert got and got[0][0] == (0, 0) and got[0][1] == {"x": 1}
+        assert got[0][2] > 0
+
+    def test_multicast_completion_waits_for_all(self):
+        mc = Multicomputer(Mesh2D(6, 6), scheme="multi-path")
+        dests = [(5, 0), (0, 5), (5, 5)]
+        arrival = {}
+
+        def master(api):
+            yield api.multicast(dests, payload="m")
+            return api.now
+
+        def member(api):
+            yield api.recv()
+            arrival[api.node] = api.now
+
+        done = mc.spawn((0, 0), master)
+        for d in dests:
+            mc.spawn(d, member)
+        mc.run()
+        assert done.triggered
+        assert done.value >= max(arrival.values())
+        assert set(arrival) == set(dests)
+
+    def test_recv_before_send_blocks(self):
+        mc = Multicomputer(Mesh2D(4, 4))
+        order = []
+
+        def receiver(api):
+            order.append("recv-posted")
+            yield api.recv()
+            order.append("recv-done")
+
+        def sender(api):
+            yield api.delay(50e-6)
+            order.append("sending")
+            yield api.send((1, 1), "hi")
+
+        mc.spawn((1, 1), receiver)
+        mc.spawn((0, 0), sender)
+        mc.run()
+        assert order == ["recv-posted", "sending", "recv-done"]
+
+    def test_mailbox_buffers_early_messages(self):
+        mc = Multicomputer(Mesh2D(4, 4))
+        got = []
+
+        def sender(api):
+            yield api.send((2, 2), "early")
+
+        def late_receiver(api):
+            yield api.delay(500e-6)
+            got.append((yield api.recv()))
+
+        mc.spawn((0, 0), sender)
+        mc.spawn((2, 2), late_receiver)
+        mc.run()
+        assert got == [((0, 0), "early")]
+
+    def test_program_return_values(self):
+        mc = Multicomputer(Mesh2D(4, 4))
+
+        def p(api):
+            yield api.delay(1e-6)
+            return 42
+
+        proc = mc.spawn((0, 0), p)
+        mc.run()
+        assert proc.value == 42
+
+    def test_api_rejects_foreign_node(self):
+        mc = Multicomputer(Mesh2D(4, 4))
+        with pytest.raises(ValueError):
+            mc.api((9, 9))
+
+    def test_sequential_vs_multicast_master(self):
+        """The §1.1 argument holds in the model: one multicast completes
+        no later than sequential synchronous sends."""
+        dests = [(3, 0), (0, 3), (3, 3)]
+
+        def sequential(api):
+            for d in dests:
+                yield api.send(d, "m")
+            return api.now
+
+        def single(api):
+            yield api.multicast(dests, "m")
+            return api.now
+
+        times = {}
+        for name, prog in (("seq", sequential), ("mc", single)):
+            mc = Multicomputer(Mesh2D(4, 4))
+            done = mc.spawn((0, 0), prog)
+            mc.run()
+            times[name] = done.value
+        assert times["mc"] <= times["seq"]
+
+
+class TestCircuitSwitching:
+    def test_uncontended_latency(self):
+        env = Environment()
+        cfg = SimConfig()
+        net = WormholeNetwork(env, cfg)
+        nodes = [(i, 0) for i in range(6)]  # 5 hops
+        inject_circuit_path(net, 1, nodes, {nodes[-1]})
+        assert net.run_to_completion()
+        (d,) = net.deliveries
+        # probe: D hops; transfer: L/B; tail propagation ~ D flit times
+        expected = 5 * cfg.flit_time + cfg.message_time + 5 * cfg.flit_time
+        assert d.latency == pytest.approx(expected)
+
+    def test_circuit_holds_path_exclusively(self):
+        env = Environment()
+        cfg = SimConfig()
+        net = WormholeNetwork(env, cfg)
+        nodes = [(i, 0) for i in range(4)]
+        inject_circuit_path(net, 1, nodes, {nodes[-1]})
+        inject_circuit_path(net, 2, nodes, {nodes[-1]})
+        assert net.run_to_completion()
+        t1, t2 = sorted(d.delivered_at for d in net.deliveries)
+        assert t2 >= t1 + cfg.message_time  # fully serialised circuits
+
+    def test_channels_released(self):
+        env = Environment()
+        net = WormholeNetwork(env, SimConfig())
+        nodes = [(i, 0) for i in range(5)]
+        inject_circuit_path(net, 1, nodes, {nodes[-1]})
+        net.run_to_completion()
+        assert all(c.in_use == 0 for c in net.channels.values())
+
+
+class TestFaultTolerance:
+    def test_no_faults_matches_dual_path(self):
+        from repro.wormhole import dual_path_route
+
+        m = Mesh2D(8, 8)
+        rng = random.Random(1)
+        for _ in range(10):
+            req = random_multicast(m, 6, rng)
+            ft = fault_tolerant_dual_path(req, faulty=())
+            assert ft.traffic == dual_path_route(req).traffic
+
+    def test_detours_around_avoidable_fault(self):
+        """A fault on R's preferred channel with a profitable sibling:
+        the message detours and still arrives via a monotone path."""
+        h = Hypercube(4)
+        lab = canonical_labeling(h)
+        req = MulticastRequest(h, 0b0000, (0b1111,))
+        base = fault_tolerant_path(lab, 0b0000, [0b1111], faulty=())
+        first_hop = (base[0], base[1])
+        detoured = fault_tolerant_path(lab, 0b0000, [0b1111], faulty={first_hop})
+        assert detoured[1] != base[1]
+        assert detoured[-1] == 0b1111
+
+    def test_unroutable_when_forced_channel_fails(self):
+        """Monotone routing cannot detour at a single-candidate hop —
+        the documented coverage limit."""
+        m = Mesh2D(8, 8)
+        lab = canonical_labeling(m)
+        # (2,4) -> (5,4): row 4 is even, the only monotone profitable
+        # candidate is (3,4)
+        with pytest.raises(Unroutable):
+            fault_tolerant_path(lab, (2, 4), [(5, 4)], faulty={((2, 4), (3, 4))})
+
+    def test_routability_degrades_with_faults(self):
+        h = Hypercube(5)
+        rng = random.Random(2)
+        reqs = [random_multicast(h, 5, rng) for _ in range(40)]
+        chans = list(h.channels())
+        r0 = routability(h, [], reqs)
+        r5 = routability(h, rng.sample(chans, len(chans) // 20), reqs)
+        assert r0 == 1.0
+        assert r5 < 1.0
+
+    def test_fault_tolerant_routes_avoid_faults(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(3)
+        chans = list(m.channels())
+        faults = set(rng.sample(chans, 8))
+        served = 0
+        for _ in range(40):
+            req = random_multicast(m, 5, rng)
+            try:
+                star = fault_tolerant_dual_path(req, faults)
+            except Unroutable:
+                continue
+            served += 1
+            for path in star.paths:
+                for arc in zip(path, path[1:]):
+                    assert arc not in faults
+        assert served > 0
+
+
+class TestRunUntilConfident:
+    def test_stops_when_confident(self):
+        m = Mesh2D(6, 6)
+        cfg = SimConfig(num_messages=200, num_destinations=5, seed=4)
+        res = run_until_confident(m, "dual-path", cfg, target_relative_ci=0.5)
+        assert res.latency.relative_ci <= 0.5
+
+    def test_grows_budget_when_noisy(self):
+        m = Mesh2D(6, 6)
+        cfg = SimConfig(num_messages=50, num_destinations=5, seed=4)
+        res = run_until_confident(
+            m, "dual-path", cfg, target_relative_ci=1e-9, max_doublings=2
+        )
+        # budget doubled twice: 50 -> 200
+        assert res.injected_messages == 200

@@ -1,0 +1,122 @@
+"""Tests for the adaptive candidate sets of the routing function R and
+assorted labeling internals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import (
+    BoustrophedonMeshLabeling,
+    GrayCodeLabeling,
+    canonical_labeling,
+)
+from repro.topology import Hypercube, Mesh2D
+
+
+class TestRouteCandidates:
+    def test_first_candidate_is_route_step(self):
+        for topo in (Mesh2D(6, 5), Hypercube(4)):
+            lab = canonical_labeling(topo)
+            rng = random.Random(0)
+            nodes = list(topo.nodes())
+            for _ in range(50):
+                u, v = rng.sample(nodes, 2)
+                assert lab.route_candidates(u, v)[0] == lab.route_step(u, v)
+
+    def test_candidates_are_monotone_and_bounded(self):
+        lab = canonical_labeling(Hypercube(5))
+        rng = random.Random(1)
+        for _ in range(50):
+            u, v = rng.sample(range(32), 2)
+            lu, lv = lab.label(u), lab.label(v)
+            for p in lab.route_candidates(u, v):
+                lp = lab.label(p)
+                if lu < lv:
+                    assert lu < lp <= lv
+                else:
+                    assert lv <= lp < lu
+
+    def test_profitable_candidates_reduce_distance(self):
+        cube = Hypercube(5)
+        lab = canonical_labeling(cube)
+        rng = random.Random(2)
+        for _ in range(50):
+            u, v = rng.sample(range(32), 2)
+            cands = lab.route_candidates(u, v)
+            if len(cands) > 1:  # more than the fallback => all profitable
+                for p in cands:
+                    assert cube.distance(p, v) == cube.distance(u, v) - 1
+
+    def test_hypercube_often_has_multiple_candidates(self):
+        """The richness that makes adaptive/fault-tolerant routing
+        meaningful on cubes."""
+        cube = Hypercube(6)
+        lab = canonical_labeling(cube)
+        rng = random.Random(3)
+        multi = 0
+        for _ in range(100):
+            u, v = rng.sample(range(64), 2)
+            if len(lab.route_candidates(u, v)) > 1:
+                multi += 1
+        assert multi > 30
+
+    def test_undefined_for_self(self):
+        lab = canonical_labeling(Mesh2D(3, 3))
+        with pytest.raises(ValueError):
+            lab.route_candidates((1, 1), (1, 1))
+        with pytest.raises(ValueError):
+            lab.route_step((1, 1), (1, 1))
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_any_candidate_choice_terminates(self, seed):
+        """Following *any* (randomly chosen) candidate at each hop still
+        reaches the destination — the property adaptive routing needs."""
+        rng = random.Random(seed)
+        mesh = Mesh2D(6, 6)
+        lab = canonical_labeling(mesh)
+        nodes = list(mesh.nodes())
+        u, v = rng.sample(nodes, 2)
+        steps = 0
+        w = u
+        while w != v:
+            w = rng.choice(lab.route_candidates(w, v))
+            steps += 1
+            assert steps <= mesh.num_nodes
+
+
+class TestHighLowNeighborOrdering:
+    def test_high_neighbors_ascending(self):
+        lab = BoustrophedonMeshLabeling(Mesh2D(5, 5))
+        for v in lab.topology.nodes():
+            labels = [lab.label(p) for p in lab.high_neighbors(v)]
+            assert labels == sorted(labels)
+            assert all(l > lab.label(v) for l in labels)
+
+    def test_low_neighbors_descending(self):
+        lab = GrayCodeLabeling(Hypercube(4))
+        for v in lab.topology.nodes():
+            labels = [lab.label(p) for p in lab.low_neighbors(v)]
+            assert labels == sorted(labels, reverse=True)
+            assert all(l < lab.label(v) for l in labels)
+
+    def test_every_non_extreme_node_has_both(self):
+        lab = BoustrophedonMeshLabeling(Mesh2D(4, 4))
+        for v in lab.topology.nodes():
+            l = lab.label(v)
+            if l > 0:
+                assert lab.low_neighbors(v)
+            if l < 15:
+                assert lab.high_neighbors(v)
+
+    def test_hamiltonian_path_endpoints(self):
+        lab = BoustrophedonMeshLabeling(Mesh2D(4, 4))
+        path = lab.hamiltonian_path()
+        assert lab.label(path[0]) == 0
+        assert lab.label(path[-1]) == 15
+        assert not lab.low_neighbors(path[0])
+        assert not lab.high_neighbors(path[-1])

@@ -1,0 +1,276 @@
+"""Unit and property tests for the topology substrates (Ch. 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import GridGraph, Hypercube, KAryNCube, Mesh2D, Mesh3D, popcount, rectangular_grid
+
+from conftest import bfs_distance
+
+
+class TestMesh2D:
+    def test_basic_counts(self):
+        m = Mesh2D(4, 3)
+        assert m.num_nodes == 12
+        assert len(list(m.nodes())) == 12
+        # 2*( (w-1)*h + w*(h-1) ) directed channels
+        assert m.num_channels == 2 * ((3 * 3) + (4 * 2))
+
+    def test_corner_edge_center_degrees(self):
+        m = Mesh2D(4, 3)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 0)) == 3
+        assert m.degree((1, 1)) == 4
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+
+    def test_index_roundtrip(self):
+        m = Mesh2D(5, 7)
+        for i, v in enumerate(m.nodes()):
+            assert m.index(v) == i
+            assert m.node_at(i) == v
+
+    def test_is_node(self):
+        m = Mesh2D(3, 3)
+        assert m.is_node((2, 2))
+        assert not m.is_node((3, 0))
+        assert not m.is_node((0, -1))
+        assert not m.is_node("x")
+        assert not m.is_node((0, 0, 0))
+
+    def test_distance_matches_bfs(self):
+        m = Mesh2D(4, 3)
+        nodes = list(m.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u != v:
+                    assert m.distance(u, v) == bfs_distance(m, u, v)
+
+    def test_diameter(self):
+        assert Mesh2D(4, 3).diameter() == 5
+        assert Mesh2D(6, 6).diameter() == 10
+
+    def test_dimension_ordered_path_is_x_first(self):
+        m = Mesh2D(6, 6)
+        path = m.dimension_ordered_path((1, 1), (4, 3))
+        assert path == [(1, 1), (2, 1), (3, 1), (4, 1), (4, 2), (4, 3)]
+
+    def test_dimension_ordered_path_length(self):
+        m = Mesh2D(8, 8)
+        rng = random.Random(1)
+        for _ in range(50):
+            u = (rng.randrange(8), rng.randrange(8))
+            v = (rng.randrange(8), rng.randrange(8))
+            path = m.dimension_ordered_path(u, v)
+            assert len(path) - 1 == m.distance(u, v)
+            assert m.path_length(path) == m.distance(u, v)
+
+    def test_path_length_rejects_nonadjacent(self):
+        m = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            m.path_length([(0, 0), (2, 0)])
+
+
+class TestMesh3D:
+    def test_counts_and_degree(self):
+        m = Mesh3D(3, 3, 3)
+        assert m.num_nodes == 27
+        assert m.degree((1, 1, 1)) == 6
+        assert m.degree((0, 0, 0)) == 3
+
+    def test_distance_matches_bfs(self):
+        m = Mesh3D(3, 2, 2)
+        nodes = list(m.nodes())
+        for u in nodes:
+            for v in nodes:
+                assert m.distance(u, v) == (0 if u == v else bfs_distance(m, u, v))
+
+    def test_index_roundtrip(self):
+        m = Mesh3D(2, 3, 4)
+        for i, v in enumerate(m.nodes()):
+            assert m.index(v) == i
+            assert m.node_at(i) == v
+
+    def test_dimension_ordered_path(self):
+        m = Mesh3D(3, 3, 3)
+        p = m.dimension_ordered_path((0, 0, 0), (2, 1, 1))
+        assert p[0] == (0, 0, 0) and p[-1] == (2, 1, 1)
+        assert len(p) - 1 == 4
+
+
+class TestHypercube:
+    def test_counts(self):
+        h = Hypercube(4)
+        assert h.num_nodes == 16
+        assert h.degree(0) == 4
+        assert h.num_channels == 16 * 4
+
+    def test_neighbors_differ_one_bit(self):
+        h = Hypercube(5)
+        for v in [0, 7, 21, 31]:
+            for w in h.neighbors(v):
+                assert popcount(v ^ w) == 1
+
+    def test_distance_matches_bfs(self):
+        h = Hypercube(4)
+        for u in range(16):
+            for v in range(16):
+                assert h.distance(u, v) == (0 if u == v else bfs_distance(h, u, v))
+
+    def test_diameter_is_n(self):
+        assert Hypercube(4).diameter() == 4
+
+    def test_ecube_path(self):
+        h = Hypercube(4)
+        p = h.dimension_ordered_path(0b0000, 0b1010)
+        assert p == [0b0000, 0b0010, 0b1010]
+
+    def test_ecube_path_random(self):
+        h = Hypercube(6)
+        rng = random.Random(2)
+        for _ in range(50):
+            u, v = rng.randrange(64), rng.randrange(64)
+            p = h.dimension_ordered_path(u, v)
+            assert p[0] == u and p[-1] == v
+            assert len(p) - 1 == h.distance(u, v)
+            h.path_length(p)
+
+    def test_bits_roundtrip(self):
+        h = Hypercube(4)
+        assert h.bits(0b1100) == "1100"
+        assert h.from_bits("1100") == 0b1100
+        with pytest.raises(ValueError):
+            h.from_bits("110")
+
+    def test_subcube_projection(self):
+        h = Hypercube(6)
+        # Example from §5.4 (6-cube ST): nearest node to 000001 on
+        # shortest paths between 000110 and 010101 is 000101.
+        a = h.from_bits("000110")
+        b = h.from_bits("010101")
+        t = h.from_bits("000001")
+        assert h.bits(h.subcube_projection(t, a, b)) == "000101"
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63))
+    def test_subcube_projection_properties(self, a, b, t):
+        h = Hypercube(6)
+        v = h.subcube_projection(t, a, b)
+        # v lies on a shortest path between a and b:
+        assert h.distance(a, v) + h.distance(v, b) == h.distance(a, b)
+        # and no node on such a path is closer to t (check via the
+        # distance formula: d(t, v) = hamming distance restricted).
+        assert h.distance(t, v) <= min(h.distance(t, a), h.distance(t, b))
+
+
+class TestKAryNCube:
+    def test_counts(self):
+        t = KAryNCube(4, 2)
+        assert t.num_nodes == 16
+        assert t.degree((0, 0)) == 4
+
+    def test_k2_matches_hypercube_distances(self):
+        t = KAryNCube(2, 3)
+        h = Hypercube(3)
+        for u in range(8):
+            for v in range(8):
+                ut = tuple(int(b) for b in format(u, "03b"))
+                vt = tuple(int(b) for b in format(v, "03b"))
+                assert t.distance(ut, vt) == h.distance(u, v)
+
+    def test_wraparound_distance(self):
+        t = KAryNCube(5, 2)
+        assert t.distance((0, 0), (4, 0)) == 1
+        assert t.distance((0, 0), (2, 2)) == 4
+        assert t.distance((0, 0), (3, 3)) == 4
+
+    def test_distance_matches_bfs(self):
+        t = KAryNCube(4, 2)
+        nodes = list(t.nodes())
+        for u in nodes:
+            for v in nodes:
+                assert t.distance(u, v) == (0 if u == v else bfs_distance(t, u, v))
+
+    def test_index_roundtrip(self):
+        t = KAryNCube(3, 3)
+        for i, v in enumerate(t.nodes()):
+            assert t.index(v) == i
+            assert t.node_at(i) == v
+
+    def test_dimension_ordered_path_takes_short_arc(self):
+        t = KAryNCube(6, 2)
+        p = t.dimension_ordered_path((0, 0), (5, 0))
+        assert p == [(0, 0), (5, 0)]
+
+    def test_dimension_ordered_path_random(self):
+        t = KAryNCube(5, 2)
+        rng = random.Random(3)
+        for _ in range(30):
+            u = (rng.randrange(5), rng.randrange(5))
+            v = (rng.randrange(5), rng.randrange(5))
+            p = t.dimension_ordered_path(u, v)
+            assert p[0] == u and p[-1] == v
+            assert len(p) - 1 == t.distance(u, v)
+
+
+class TestGridGraph:
+    def test_rectangular(self):
+        g = rectangular_grid(3, 2)
+        assert len(g) == 6
+        assert g.num_edges() == 7
+
+    def test_neighbors_and_contains(self):
+        g = GridGraph([(0, 0), (1, 0), (1, 1)])
+        assert (0, 0) in g
+        assert (2, 2) not in g
+        assert set(g.neighbors((1, 0))) == {(0, 0), (1, 1)}
+
+    def test_connectivity(self):
+        assert GridGraph([(0, 0), (1, 0)]).is_connected()
+        assert not GridGraph([(0, 0), (2, 0)]).is_connected()
+
+    def test_bfs_levels(self):
+        g = rectangular_grid(3, 3)
+        levels = g.bfs_levels((0, 0))
+        assert levels[0] == [(0, 0)]
+        assert set(levels[1]) == {(1, 0), (0, 1)}
+        assert len(levels) == 5
+
+    def test_bfs_levels_disconnected_raises(self):
+        g = GridGraph([(0, 0), (5, 5)])
+        with pytest.raises(ValueError):
+            g.bfs_levels((0, 0))
+
+    def test_hamiltonian_cycle_rectangle(self):
+        g = rectangular_grid(4, 3)
+        cyc = g.hamiltonian_cycle()
+        assert cyc is not None
+        assert len(cyc) == 13  # 12 nodes + closing repeat
+        assert cyc[0] == cyc[-1]
+        assert len(set(cyc[:-1])) == 12
+
+    def test_no_hamiltonian_cycle_odd_odd(self):
+        # bipartite parity argument: 3x3 grid has no Hamilton cycle
+        assert rectangular_grid(3, 3).hamiltonian_cycle() is None
+
+    def test_hamiltonian_path(self):
+        g = rectangular_grid(3, 3)
+        p = g.hamiltonian_path(start=(0, 0))
+        assert p is not None and len(p) == 9 and p[0] == (0, 0)
+
+    def test_l_shape_example(self):
+        # The 8-node grid of Fig. 4.2-like shape still has a Hamilton path.
+        g = GridGraph([(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1), (0, 2), (1, 2)])
+        assert g.is_connected()
+        p = g.hamiltonian_path()
+        assert p is not None and len(p) == 8
+
+    def test_bounding_box(self):
+        g = GridGraph([(2, 3), (3, 3), (3, 4)])
+        assert g.bounding_box() == ((2, 3), (3, 4))

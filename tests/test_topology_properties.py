@@ -1,0 +1,132 @@
+"""Property-based invariant tests for all topology substrates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+
+TOPOLOGIES = {
+    "mesh2d": Mesh2D(6, 5),
+    "mesh3d": Mesh3D(3, 4, 2),
+    "cube": Hypercube(5),
+    "torus": KAryNCube(4, 2),
+}
+
+
+@pytest.fixture(params=sorted(TOPOLOGIES), name="topo")
+def _topo(request):
+    return TOPOLOGIES[request.param]
+
+
+def pick(topo, rng):
+    return topo.node_at(rng.randrange(topo.num_nodes))
+
+
+class TestMetricProperties:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_and_identity(self, seed):
+        rng = random.Random(seed)
+        for topo in TOPOLOGIES.values():
+            u, v = pick(topo, rng), pick(topo, rng)
+            assert topo.distance(u, v) == topo.distance(v, u)
+            assert topo.distance(u, u) == 0
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, seed):
+        rng = random.Random(seed)
+        for topo in TOPOLOGIES.values():
+            u, v, w = (pick(topo, rng) for _ in range(3))
+            assert topo.distance(u, w) <= topo.distance(u, v) + topo.distance(v, w)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_neighbors_at_distance_one(self, seed):
+        rng = random.Random(seed)
+        for topo in TOPOLOGIES.values():
+            u = pick(topo, rng)
+            for v in topo.neighbors(u):
+                assert topo.distance(u, v) == 1
+                assert u in topo.neighbors(v)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_distance_drops_by_one_along_some_neighbor(self, seed):
+        rng = random.Random(seed)
+        for topo in TOPOLOGIES.values():
+            u, v = pick(topo, rng), pick(topo, rng)
+            if u == v:
+                continue
+            assert min(topo.distance(w, v) for w in topo.neighbors(u)) == topo.distance(u, v) - 1
+
+
+class TestStructuralProperties:
+    def test_index_bijection(self, topo):
+        seen = set()
+        for i, v in enumerate(topo.nodes()):
+            assert topo.index(v) == i
+            assert topo.node_at(i) == v
+            seen.add(v)
+        assert len(seen) == topo.num_nodes
+
+    def test_channel_count_consistency(self, topo):
+        assert topo.num_channels == len(list(topo.channels()))
+        assert topo.num_channels == 2 * len(list(topo.undirected_edges()))
+
+    def test_dimension_ordered_paths_shortest(self, topo):
+        rng = random.Random(1)
+        for _ in range(30):
+            u, v = pick(topo, rng), pick(topo, rng)
+            p = topo.dimension_ordered_path(u, v)
+            assert p[0] == u and p[-1] == v
+            assert len(p) - 1 == topo.distance(u, v)
+            assert len(set(p)) == len(p)
+
+    def test_diameter_attained(self, topo):
+        d = topo.diameter()
+        nodes = list(topo.nodes())
+        assert any(
+            topo.distance(u, v) == d for u in nodes[:8] for v in nodes
+        ) or d == max(
+            topo.distance(u, v) for u in nodes for v in nodes
+        )
+
+    def test_is_node_rejects_garbage(self, topo):
+        for bad in (None, "x", -1, (999,), (1, 2, 3, 4), 1.5):
+            assert not topo.is_node(bad)
+
+    def test_validate_multicast_set_passes_valid(self, topo):
+        rng = random.Random(2)
+        nodes = [topo.node_at(i) for i in rng.sample(range(topo.num_nodes), 4)]
+        topo.validate_multicast_set(nodes[0], nodes[1:])
+
+
+class TestDegreeBounds:
+    def test_mesh2d_degrees(self):
+        m = Mesh2D(6, 5)
+        degrees = {m.degree(v) for v in m.nodes()}
+        assert degrees == {2, 3, 4}
+
+    def test_mesh3d_degrees(self):
+        m = Mesh3D(3, 3, 3)
+        degrees = {m.degree(v) for v in m.nodes()}
+        assert degrees == {3, 4, 5, 6}
+
+    def test_cube_regular(self):
+        h = Hypercube(5)
+        assert {h.degree(v) for v in h.nodes()} == {5}
+
+    def test_torus_regular(self):
+        t = KAryNCube(4, 2)
+        assert {t.degree(v) for v in t.nodes()} == {4}
+
+    def test_small_torus_degree(self):
+        # radix 2 wraps coincide with direct links: degree n, not 2n
+        t = KAryNCube(2, 3)
+        assert {t.degree(v) for v in t.nodes()} == {3}
