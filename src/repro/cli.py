@@ -123,6 +123,24 @@ def cmd_simulate(args) -> int:
         channels_per_link=2 if args.double_channels else 1,
         seed=args.seed,
     )
+    if args.replications > 1:
+        from .parallel import SweepJob, pooled_latency, replicate, run_sweep
+
+        jobs = [
+            SweepJob(topology, args.scheme, c)
+            for c in replicate(cfg, args.replications)
+        ]
+        results = run_sweep(jobs, workers=args.workers)
+        pooled = pooled_latency(results)
+        print(
+            f"{args.scheme} on {topology}: mean latency "
+            f"{pooled.mean * 1e6:.2f} us "
+            f"(+/- {pooled.ci_halfwidth * 1e6:.2f}, "
+            f"{args.replications} replications x {cfg.num_messages} messages, "
+            f"{sum(r.deliveries for r in results)} deliveries, "
+            f"{args.workers or 'auto'} workers)"
+        )
+        return 0
     result = run_dynamic(topology, args.scheme, cfg)
     print(
         f"{args.scheme} on {topology}: mean latency "
@@ -223,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interarrival-us", type=float, default=300.0)
     p.add_argument("--double-channels", action="store_true")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--replications", type=int, default=1,
+                   help="independent replications with derived seeds, pooled")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the replication sweep "
+                        "(default: all cores; used when --replications > 1)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("mixed", help="unicast/multicast interaction study (§8.2)")

@@ -46,17 +46,31 @@ def canonical_labeling(topology):
     for 2D meshes, reflected Gray code for hypercubes (both proven
     shortest-path-preserving, Lemmas 6.1/6.4), and the reflected
     mixed-radix snake for 3D meshes and k-ary n-cubes (empirically
-    shortest-path-preserving on tested sizes)."""
+    shortest-path-preserving on tested sizes).
+
+    Memoized on the topology instance: labelings are pure functions of
+    the (immutable) topology, and sharing one instance lets its routing
+    caches — label positions, neighbor orderings, ``route_step`` /
+    ``route_path`` memos — warm once and serve every simulation run on
+    that topology.
+    """
+    labeling = getattr(topology, "_canonical_labeling", None)
+    if labeling is not None:
+        return labeling
+
     from ..topology.hypercube import Hypercube
     from ..topology.karyncube import KAryNCube
     from ..topology.mesh import Mesh2D, Mesh3D
 
     if isinstance(topology, Mesh2D):
-        return BoustrophedonMeshLabeling(topology)
-    if isinstance(topology, Hypercube):
-        return GrayCodeLabeling(topology)
-    if isinstance(topology, Mesh3D):
-        return BoustrophedonMesh3DLabeling(topology)
-    if isinstance(topology, KAryNCube):
-        return SnakeTorusLabeling(topology)
-    raise TypeError(f"no canonical labeling for {topology!r}")
+        labeling = BoustrophedonMeshLabeling(topology)
+    elif isinstance(topology, Hypercube):
+        labeling = GrayCodeLabeling(topology)
+    elif isinstance(topology, Mesh3D):
+        labeling = BoustrophedonMesh3DLabeling(topology)
+    elif isinstance(topology, KAryNCube):
+        labeling = SnakeTorusLabeling(topology)
+    else:
+        raise TypeError(f"no canonical labeling for {topology!r}")
+    topology._canonical_labeling = labeling
+    return labeling

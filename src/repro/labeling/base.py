@@ -43,6 +43,42 @@ class Labeling(ABC):
         """Inverse of :meth:`label`."""
 
     # ------------------------------------------------------------------
+    # Memoized position tables.
+    #
+    # Labelings are immutable (they wrap an immutable topology), so the
+    # label positions and per-node neighbor orderings are computed once
+    # on first use and never invalidated.  The routing function R
+    # consults these tables instead of re-sorting neighbors per call.
+    # ------------------------------------------------------------------
+
+    def label_positions(self) -> tuple:
+        """``label_positions()[i]`` is the label of the node with dense
+        topology index ``i`` (cached)."""
+        positions = getattr(self, "_label_positions", None)
+        if positions is None:
+            positions = self._label_positions = tuple(
+                self.label(v) for v in self.topology.node_list()
+            )
+        return positions
+
+    def _label_of(self, v: Node) -> int:
+        """Cached ``label(v)`` lookup through the position array."""
+        return self.label_positions()[self.topology.index_map()[v]]
+
+    def _labeled_neighbors(self, u: Node) -> tuple:
+        """``(label(p), p)`` for each neighbor of ``u``, ascending by
+        label (cached per node)."""
+        table = getattr(self, "_labeled_neighbor_table", None)
+        if table is None:
+            table = self._labeled_neighbor_table = {}
+        pairs = table.get(u)
+        if pairs is None:
+            pairs = table[u] = tuple(
+                sorted((self._label_of(p), p) for p in self.topology.neighbors(u))
+            )
+        return pairs
+
+    # ------------------------------------------------------------------
     # Derived structure.
     # ------------------------------------------------------------------
 
@@ -58,18 +94,13 @@ class Labeling(ABC):
 
     def high_neighbors(self, u: Node) -> list[Node]:
         """Neighbors of ``u`` with a higher label, in ascending label order."""
-        return sorted(
-            (p for p in self.topology.neighbors(u) if self.label(p) > self.label(u)),
-            key=self.label,
-        )
+        lu = self._label_of(u)
+        return [p for lp, p in self._labeled_neighbors(u) if lp > lu]
 
     def low_neighbors(self, u: Node) -> list[Node]:
         """Neighbors of ``u`` with a lower label, in descending label order."""
-        return sorted(
-            (p for p in self.topology.neighbors(u) if self.label(p) < self.label(u)),
-            key=self.label,
-            reverse=True,
-        )
+        lu = self._label_of(u)
+        return [p for lp, p in reversed(self._labeled_neighbors(u)) if lp < lu]
 
     def high_channels(self) -> list[tuple[Node, Node]]:
         """Directed channels of the high-channel subnetwork."""
@@ -100,43 +131,33 @@ class Labeling(ABC):
         """
         if u == v:
             raise ValueError("routing is undefined for u == v")
-        lu, lv = self.label(u), self.label(v)
-        d_uv = self.topology.distance(u, v)
+        lu, lv = self._label_of(u), self._label_of(v)
+        pairs = self._labeled_neighbors(u)
+        distance = self.topology.distance
+        d_uv = distance(u, v)
         if lu < lv:
-            profitable = sorted(
-                (
-                    p
-                    for p in self.topology.neighbors(u)
-                    if lu < self.label(p) <= lv
-                    and self.topology.distance(p, v) < d_uv
-                ),
-                key=self.label,
-                reverse=True,
-            )
+            profitable = [
+                p
+                for lp, p in reversed(pairs)
+                if lu < lp <= lv and distance(p, v) < d_uv
+            ]
             if profitable:
                 return profitable
-            return [
-                max(
-                    (p for p in self.topology.neighbors(u) if self.label(p) <= lv),
-                    key=self.label,
-                )
-            ]
-        profitable = sorted(
-            (
-                p
-                for p in self.topology.neighbors(u)
-                if lv <= self.label(p) < lu and self.topology.distance(p, v) < d_uv
-            ),
-            key=self.label,
-        )
+            # unrestricted fallback: the max-label neighbor below l(v)
+            for lp, p in reversed(pairs):
+                if lp <= lv:
+                    return [p]
+            raise ValueError(f"no neighbor of {u!r} with label <= {lv}")
+        profitable = [
+            p for lp, p in pairs if lv <= lp < lu and distance(p, v) < d_uv
+        ]
         if profitable:
             return profitable
-        return [
-            min(
-                (p for p in self.topology.neighbors(u) if self.label(p) >= lv),
-                key=self.label,
-            )
-        ]
+        # unrestricted fallback: the min-label neighbor above l(v)
+        for lp, p in pairs:
+            if lp >= lv:
+                return [p]
+        raise ValueError(f"no neighbor of {u!r} with label >= {lv}")
 
     def monotone_candidates(self, u: Node, v: Node) -> list[Node]:
         """Every label-monotone neighbor bounded by ``l(v)`` — the full
@@ -147,17 +168,11 @@ class Labeling(ABC):
         fault avoidance."""
         if u == v:
             raise ValueError("routing is undefined for u == v")
-        lu, lv = self.label(u), self.label(v)
+        lu, lv = self._label_of(u), self._label_of(v)
+        pairs = self._labeled_neighbors(u)
         if lu < lv:
-            return sorted(
-                (p for p in self.topology.neighbors(u) if lu < self.label(p) <= lv),
-                key=self.label,
-                reverse=True,
-            )
-        return sorted(
-            (p for p in self.topology.neighbors(u) if lv <= self.label(p) < lu),
-            key=self.label,
-        )
+            return [p for lp, p in reversed(pairs) if lu < lp <= lv]
+        return [p for lp, p in pairs if lv <= lp < lu]
 
     def route_step(self, u: Node, v: Node) -> Node:
         """``R(u, v)``: the next hop from ``u`` toward ``v``.
@@ -174,15 +189,42 @@ class Labeling(ABC):
         shortest paths for guaranteed label-monotone progress.
 
         Raises ``ValueError`` for ``u == v``.
+
+        Memoized per ``(u, v)`` pair: R is a pure function of the
+        immutable labeling, and the dynamic study re-routes the same
+        pairs thousands of times.  The cache is cleared wholesale if it
+        ever exceeds a bound (relevant only for very large networks).
         """
-        return self.route_candidates(u, v)[0]
+        cache = getattr(self, "_route_step_cache", None)
+        if cache is None:
+            cache = self._route_step_cache = {}
+        key = (u, v)
+        nxt = cache.get(key)
+        if nxt is None:
+            if len(cache) > 1 << 17:
+                cache.clear()
+            nxt = cache[key] = self.route_candidates(u, v)[0]
+        return nxt
 
     def route_path(self, u: Node, v: Node) -> list[Node]:
         """The full path ``(u, ..., v)`` selected by repeatedly applying R.
 
         For the canonical labelings this is a shortest path that is
         monotone in label (partial-order preserving; Lemmas 6.1/6.4).
+        Memoized per pair; the returned list is a fresh copy.
         """
+        return list(self.route_path_tuple(u, v))
+
+    def route_path_tuple(self, u: Node, v: Node) -> tuple:
+        """Cached immutable form of :meth:`route_path` (the hot routing
+        loops splice these segments without re-walking R per hop)."""
+        cache = getattr(self, "_route_path_cache", None)
+        if cache is None:
+            cache = self._route_path_cache = {}
+        key = (u, v)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         path = [u]
         cur = u
         limit = self.topology.num_nodes
@@ -194,4 +236,7 @@ class Labeling(ABC):
                     "routing function R failed to converge; labeling is "
                     "probably not Hamiltonian"
                 )
+        if len(cache) > 1 << 17:
+            cache.clear()
+        path = cache[key] = tuple(path)
         return path

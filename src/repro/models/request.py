@@ -27,6 +27,23 @@ class MulticastRequest:
         if not self.destinations:
             raise ValueError("a multicast needs at least one destination")
 
+    @classmethod
+    def trusted(cls, topology: Topology, source: Node, destinations: Iterable) -> "MulticastRequest":
+        """Construct without re-validating the multicast set.
+
+        For trusted generators (the dynamic-study workload draws
+        destination indices straight from the node set, distinct and
+        excluding the source by construction), skipping the per-message
+        ``validate_multicast_set`` pass removes an O(k) check from the
+        simulator's inner loop.  Behaviour is otherwise identical to the
+        normal constructor.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "destinations", tuple(destinations))
+        return self
+
     @property
     def k(self) -> int:
         """Number of destinations."""

@@ -7,7 +7,7 @@ in :mod:`repro.sim.traffic`; the experiment drivers in
 """
 
 from .config import SimConfig
-from .kernel import Environment, Event, Process, Timeout
+from .kernel import Environment, Event, LegacyEnvironment, Process, Timeout
 from .network import (
     AdaptivePathWorm,
     Channel,
@@ -43,6 +43,7 @@ __all__ = [
     "Delivery",
     "DynamicResult",
     "Environment",
+    "LegacyEnvironment",
     "MixedResult",
     "Event",
     "PathSpec",

@@ -28,7 +28,7 @@ routing on a double-channel network) or as per-subnetwork copies
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from .config import SimConfig
@@ -55,7 +55,7 @@ class Channel:
         self.in_use += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Delivery:
     """One destination's receipt of one multicast message."""
 
@@ -72,11 +72,14 @@ class Delivery:
 class WormholeNetwork:
     """The shared channel state plus bookkeeping for worms in flight."""
 
+    __slots__ = ("env", "config", "channels", "active_worms", "total_worms", "deliveries", "_blocked")
+
     def __init__(self, env: Environment, config: SimConfig):
         self.env = env
         self.config = config
         self.channels: dict = {}
         self.active_worms = 0
+        self.total_worms = 0
         self.deliveries: list[Delivery] = []
         self._blocked: list = []
 
@@ -93,7 +96,7 @@ class WormholeNetwork:
         still cannot proceed re-queues itself, so a freed slot is never
         stranded behind a blocked multi-channel (tree) waiter."""
         ch.in_use -= 1
-        if ch.waiters and ch.free:
+        if ch.waiters and ch.in_use < ch.capacity:
             waiters = list(ch.waiters)
             ch.waiters.clear()
             for retry in waiters:
@@ -111,21 +114,29 @@ class WormholeNetwork:
         message_id: int,
         nodes: Sequence,
         destinations: set,
-        channel_key=lambda u, v: (u, v),
+        channel_key=None,
         capacity: int | None = None,
         flits: int | None = None,
     ) -> "PathWorm":
         """Inject a path worm following ``nodes``; members of
         ``destinations`` latch a copy as the tail passes them.
-        ``flits`` overrides the message length (header modelling)."""
-        chans = [
-            self.channel(channel_key(u, v), capacity)
-            for u, v in zip(nodes, nodes[1:])
-        ]
+        ``channel_key`` maps a hop to its channel identity (default:
+        the ``(u, v)`` pair itself); ``flits`` overrides the message
+        length (header modelling)."""
+        channels = self.channels
+        cap = capacity or self.config.channels_per_link
+        chans = []
+        for u, v in zip(nodes, nodes[1:]):
+            key = (u, v) if channel_key is None else channel_key(u, v)
+            ch = channels.get(key)
+            if ch is None:
+                ch = channels[key] = Channel(key, cap)
+            chans.append(ch)
         worm = PathWorm(self, message_id, list(nodes), chans, destinations)
         if flits is not None:
             worm.flits = flits
         self.active_worms += 1
+        self.total_worms += 1
         worm.start()
         return worm
 
@@ -148,6 +159,7 @@ class WormholeNetwork:
             self, message_id, source, list(destinations), labeling, channel_key, capacity
         )
         self.active_worms += 1
+        self.total_worms += 1
         worm.start()
         return worm
 
@@ -171,6 +183,7 @@ class WormholeNetwork:
         if flits is not None:
             worm.flits = flits
         self.active_worms += 1
+        self.total_worms += 1
         worm.start()
         return worm
 
@@ -188,8 +201,9 @@ class PathWorm:
     """A single-path worm (see module docstring for the timing rules)."""
 
     __slots__ = (
-        "net", "env", "message_id", "nodes", "channels", "dests",
-        "injected_at", "idx", "flits", "tf", "blocked_on",
+        "net", "env", "message_id", "nodes", "channels", "num_channels",
+        "dests", "injected_at", "idx", "flits", "tf", "blocked_on",
+        "_advance", "_arrive", "_rel", "_sched",
     )
 
     def __init__(self, net: WormholeNetwork, message_id: int, nodes, channels, dests):
@@ -198,12 +212,20 @@ class PathWorm:
         self.message_id = message_id
         self.nodes = nodes
         self.channels = channels
+        self.num_channels = len(channels)
         self.dests = dests
         self.injected_at = net.env.now
         self.idx = 0  # next channel index to acquire
         self.flits = net.config.flits_per_message
         self.tf = net.config.flit_time
         self.blocked_on: Channel | None = None
+        # prebound callbacks: the advance loop schedules these once per
+        # hop/flit, and binding them here avoids a method-object
+        # allocation per event
+        self._advance = self._try_advance
+        self._arrive = self._arrived
+        self._rel = self._release
+        self._sched = net.env.schedule
 
     def start(self) -> None:
         if not self.channels:  # degenerate: source-only path
@@ -213,29 +235,32 @@ class PathWorm:
 
     def _try_advance(self) -> None:
         self.blocked_on = None
-        ch = self.channels[self.idx]
-        if not ch.free:
-            self.blocked_on = ch
-            ch.waiters.append(self._try_advance)
-            return
-        ch.acquire()
         i = self.idx
-        self.idx += 1
-        if i - self.flits >= 0:
-            self._release(i - self.flits)
-        self.env.schedule(self.tf, self._arrived)
+        ch = self.channels[i]
+        if ch.in_use >= ch.capacity:
+            self.blocked_on = ch
+            ch.waiters.append(self._advance)
+            return
+        ch.in_use += 1
+        self.idx = i + 1
+        j = i - self.flits
+        if j >= 0:
+            self._release(j)
+        self._sched(self.tf, self._arrive)
 
     def _arrived(self) -> None:
-        if self.idx < len(self.channels):
+        if self.idx < self.num_channels:
             self._try_advance()
             return
         # header consumed at the final node; remaining flits drain at
         # one per flit time, releasing held channels oldest-first.
-        D = len(self.channels)
+        D = self.num_channels
         F = self.flits
+        sched = self._sched
+        tf = self.tf
         for i in range(max(0, D - F), D):
-            self.env.schedule((i + F - D) * self.tf, self._release, i)
-        self.env.schedule((D - 1 + F - D) * self.tf, self._finished)
+            sched((i + F - D) * tf, self._rel, i)
+        sched((F - 1) * tf, self._finished)
 
     def _release(self, i: int) -> None:
         self.net.release(self.channels[i])
@@ -263,6 +288,7 @@ class AdaptivePathWorm:
     __slots__ = (
         "net", "env", "message_id", "labeling", "channel_key", "capacity",
         "nodes", "channels", "queue", "dests", "injected_at", "flits", "tf",
+        "_advance", "_arrive", "_rel",
     )
 
     def __init__(self, net, message_id, source, dest_queue, labeling, channel_key, capacity):
@@ -279,6 +305,9 @@ class AdaptivePathWorm:
         self.injected_at = net.env.now
         self.flits = net.config.flits_per_message
         self.tf = net.config.flit_time
+        self._advance = self._try_advance
+        self._arrive = self._arrived
+        self._rel = self._release
 
     def start(self) -> None:
         self._pop_reached()
@@ -305,7 +334,7 @@ class AdaptivePathWorm:
         if chosen is None:
             # block on the deterministic R choice
             ch = self.net.channel(self.channel_key(cur, candidates[0]), self.capacity)
-            ch.waiters.append(self._try_advance)
+            ch.waiters.append(self._advance)
             return
         nxt, ch = chosen
         ch.acquire()
@@ -314,7 +343,7 @@ class AdaptivePathWorm:
         i = len(self.channels) - 1
         if i - self.flits >= 0:
             self._release(i - self.flits)
-        self.env.schedule(self.tf, self._arrived)
+        self.env.schedule(self.tf, self._arrive)
 
     def _arrived(self) -> None:
         self._pop_reached()
@@ -324,7 +353,7 @@ class AdaptivePathWorm:
         D = len(self.channels)
         F = self.flits
         for i in range(max(0, D - F), D):
-            self.env.schedule((i + F - D) * self.tf, self._release, i)
+            self.env.schedule((i + F - D) * self.tf, self._rel, i)
         self.env.schedule((F - 1) * self.tf, self._finished)
 
     def _release(self, i: int) -> None:
@@ -344,6 +373,7 @@ class TreeWorm:
     __slots__ = (
         "net", "env", "message_id", "chan_levels", "head_levels",
         "dest_levels", "injected_at", "k", "flits", "tf",
+        "_tick", "_done", "_rel",
     )
 
     def __init__(self, net: WormholeNetwork, message_id: int, chan_levels, head_levels):
@@ -358,6 +388,9 @@ class TreeWorm:
         self.k = 0  # next level to acquire
         self.flits = net.config.flits_per_message
         self.tf = net.config.flit_time
+        self._tick = self._try_tick
+        self._done = self._tick_done
+        self._rel = self._release_level
 
     def start(self) -> None:
         if not self.chan_levels:
@@ -369,7 +402,7 @@ class TreeWorm:
         level = self.chan_levels[self.k]
         for ch in level:
             if not ch.free:
-                ch.waiters.append(self._try_tick)
+                ch.waiters.append(self._tick)
                 return
         for ch in level:
             ch.acquire()
@@ -377,7 +410,7 @@ class TreeWorm:
         self.k += 1
         if k - self.flits >= 0:
             self._release_level(k - self.flits)
-        self.env.schedule(self.tf, self._tick_done)
+        self.env.schedule(self.tf, self._done)
 
     def _tick_done(self) -> None:
         if self.k < len(self.chan_levels):
@@ -386,7 +419,7 @@ class TreeWorm:
         L = len(self.chan_levels)
         F = self.flits
         for idx in range(max(0, L - F), L):
-            self.env.schedule((idx + F - L) * self.tf, self._release_level, idx)
+            self.env.schedule((idx + F - L) * self.tf, self._rel, idx)
         self.env.schedule((L - 1 + F - L) * self.tf, self._finished)
 
     def _release_level(self, idx: int) -> None:

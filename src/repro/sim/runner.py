@@ -37,6 +37,7 @@ class DynamicResult:
     injected_messages: int
     deliveries: int
     sim_time: float
+    worms: int = 0
 
     @property
     def mean_latency(self) -> float:
@@ -100,15 +101,24 @@ def inject_specs(net: WormholeNetwork, message_id: int, specs, capacity: int, ro
 
 
 def run_dynamic(
-    topology: Topology, scheme: str, config: SimConfig, router: Router | None = None
+    topology: Topology,
+    scheme: str,
+    config: SimConfig,
+    router: Router | None = None,
+    env_factory=Environment,
 ) -> DynamicResult:
     """Simulate Poisson multicast traffic under one routing scheme.
 
     Raises :class:`DeadlockDetected` if the network wedges (only
     possible for the deliberately deadlock-prone tree schemes on single
     channels).
+
+    ``env_factory`` selects the simulation kernel; the default fast
+    kernel and :class:`~repro.sim.kernel.LegacyEnvironment` produce
+    bit-identical results (the benchmark and parity suites exercise
+    both).
     """
-    env = Environment()
+    env = env_factory()
     net = WormholeNetwork(env, config)
     rng = random.Random(config.seed)
     router = router or Router(topology, scheme)
@@ -119,24 +129,34 @@ def run_dynamic(
     # is double-channel; tree worms always use their own tagged copies.
     path_capacity = config.channels_per_link
 
+    # hot-loop locals: the workload generator runs once per message.
+    randrange = rng.randrange
+    expovariate = rng.expovariate
+    arrival_rate = 1.0 / config.mean_interarrival
+    num_messages = config.num_messages
+    k = config.num_destinations
+    index_map = topology.index_map()
+    schedule = env.schedule
+
     def draw_destinations(source):
-        k = config.num_destinations
         chosen: set = set()
-        src_i = topology.index(source)
+        src_i = index_map[source]
         while len(chosen) < k:
-            i = rng.randrange(n)
+            i = randrange(n)
             if i != src_i:
                 chosen.add(i)
-        return tuple(topology.node_at(i) for i in sorted(chosen))
+        return tuple(nodes[i] for i in sorted(chosen))
 
     def inject_from(node):
-        if state["injected"] >= config.num_messages:
+        if state["injected"] >= num_messages:
             return
         state["injected"] += 1
         mid = state["injected"]
-        request = MulticastRequest(topology, node, draw_destinations(node))
+        # destinations are drawn from the node set, distinct and never
+        # the source — the trusted constructor skips re-checking that.
+        request = MulticastRequest.trusted(topology, node, draw_destinations(node))
         inject_specs(net, mid, router(request), path_capacity, router)
-        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+        schedule(expovariate(arrival_rate), inject_from, node)
 
     for node in nodes:
         env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
@@ -154,6 +174,7 @@ def run_dynamic(
         injected_messages=state["injected"],
         deliveries=len(net.deliveries),
         sim_time=env.now,
+        worms=net.total_worms,
     )
 
 

@@ -94,7 +94,13 @@ def _tree_to_spec(tree, destinations, tag=None) -> TreeSpec:
 
 class Router:
     """Maps requests to worm specs for one routing scheme on one
-    topology (precomputing the labeling once)."""
+    topology (precomputing the labeling once).
+
+    ``labeling`` overrides the canonical labeling — the throughput
+    benchmark passes a :class:`~repro.labeling.reference.ReferenceRouting`
+    proxy here to route on the uncached baseline path.  ``validate=True``
+    re-enables the per-message route self-check the hot path skips.
+    """
 
     PATH_SCHEMES = ("dual-path", "multi-path", "fixed-path")
     TREE_SCHEMES = ("tree-xfirst", "ecube-tree", "xfirst-tree")
@@ -102,8 +108,9 @@ class Router:
     VCT_TREE_SCHEMES = ("vct-tree",)
     VC_PREFIX = "virtual-channel-"  # e.g. "virtual-channel-4"
 
-    def __init__(self, topology, scheme: str):
+    def __init__(self, topology, scheme: str, labeling=None, validate: bool = False):
         self.num_planes = 0
+        self.validate = validate
         if scheme.startswith(self.VC_PREFIX):
             self.num_planes = int(scheme[len(self.VC_PREFIX):])
             if self.num_planes < 1:
@@ -117,12 +124,11 @@ class Router:
             raise ValueError(f"unknown routing scheme {scheme!r}")
         self.topology = topology
         self.scheme = scheme
-        self.labeling = (
-            canonical_labeling(topology)
-            if self.num_planes
-            or scheme in self.PATH_SCHEMES + self.ADAPTIVE_SCHEMES
-            else None
-        )
+        if labeling is None and (
+            self.num_planes or scheme in self.PATH_SCHEMES + self.ADAPTIVE_SCHEMES
+        ):
+            labeling = canonical_labeling(topology)
+        self.labeling = labeling
 
     def __call__(self, request: MulticastRequest) -> list:
         if self.num_planes:
@@ -133,8 +139,14 @@ class Router:
                 PathSpec(tuple(path), frozenset(group), plane)
                 for path, group, plane in zip(star.paths, star.partition, star.planes)
             ]
+        # path routes are computed per message in the dynamic study;
+        # validation is redundant there (the algorithms are
+        # deterministic and statically tested), so it is skipped unless
+        # the router was built with validate=True.
         if self.scheme == "dual-path":
-            return _star_to_specs(dual_path_route(request, self.labeling))
+            return _star_to_specs(
+                dual_path_route(request, self.labeling, validate=self.validate)
+            )
         if self.scheme == "dual-path-adaptive":
             from ..wormhole.star_routing import split_high_low
 
@@ -145,9 +157,13 @@ class Router:
                 if group
             ]
         if self.scheme == "multi-path":
-            return _star_to_specs(multi_path_route(request, self.labeling))
+            return _star_to_specs(
+                multi_path_route(request, self.labeling, validate=self.validate)
+            )
         if self.scheme == "fixed-path":
-            return _star_to_specs(fixed_path_route(request, self.labeling))
+            return _star_to_specs(
+                fixed_path_route(request, self.labeling, validate=self.validate)
+            )
         if self.scheme == "vct-tree":
             from ..topology.hypercube import Hypercube
 

@@ -11,10 +11,15 @@ shortest paths, which the routing algorithms of Ch. 5/6 rely on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
 from typing import Hashable, Iterable, Iterator, Sequence
 
 Node = Hashable
 Channel = tuple[Node, Node]
+
+#: bound on the per-topology LRU of dimension-ordered paths; 64k entries
+#: covers every (u, v) pair of networks up to 256 nodes outright.
+_DOP_CACHE_SIZE = 65536
 
 
 class Topology(ABC):
@@ -24,6 +29,11 @@ class Topology(ABC):
     bit-addresses for hypercubes).  Every topology provides a bijection
     between node addresses and dense indices ``0..num_nodes-1`` so that
     simulators and metrics can use array storage.
+
+    Topologies are immutable once constructed, so every derived
+    structure — node lists, neighbor tables, the all-pairs distance
+    matrix, the diameter, dimension-ordered paths — is memoized on the
+    instance the first time it is requested and never invalidated.
     """
 
     @property
@@ -56,17 +66,92 @@ class Topology(ABC):
         """Inverse of :meth:`index`."""
 
     @abstractmethod
+    def _dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+        """Concrete computation behind :meth:`dimension_ordered_path`."""
+
     def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
         """The deterministic shortest path used by the base unicast routing.
 
         For meshes this is X-first (then Y, then Z) routing; for
         hypercubes it is e-cube routing (correct bits lowest dimension
         first).  Returns the node sequence ``[u, ..., v]``.
+
+        Paths are served from a bounded per-instance LRU; the returned
+        list is always a fresh copy, so callers may mutate it freely.
         """
+        cache = getattr(self, "_dop_cache", None)
+        if cache is None:
+            cache = self._dop_cache = OrderedDict()
+        key = (u, v)
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            return list(hit)
+        path = self._dimension_ordered_path(u, v)
+        cache[key] = tuple(path)
+        if len(cache) > _DOP_CACHE_SIZE:
+            cache.popitem(last=False)
+        return path
+
+    # Memoized derived structure, dropped when a topology is pickled
+    # (e.g. shipped to a `repro.parallel.run_sweep` worker): every
+    # entry is recomputable, and some — the path LRU, the canonical
+    # labeling's route memos — can dwarf the topology itself.
+    _CACHE_ATTRS = (
+        "_dop_cache",
+        "_node_list",
+        "_index_map",
+        "_neighbor_table",
+        "_neighbor_indices",
+        "_num_channels",
+        "_distance_matrix",
+        "_diameter",
+        "_canonical_labeling",
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in self._CACHE_ATTRS:
+            state.pop(key, None)
+        return state
 
     # ------------------------------------------------------------------
     # Derived helpers shared by all topologies.
     # ------------------------------------------------------------------
+
+    def node_list(self) -> list[Node]:
+        """All node addresses in index order (cached)."""
+        nodes = getattr(self, "_node_list", None)
+        if nodes is None:
+            nodes = self._node_list = list(self.nodes())
+        return nodes
+
+    def index_map(self) -> dict:
+        """Mapping from node address to dense index (cached)."""
+        imap = getattr(self, "_index_map", None)
+        if imap is None:
+            imap = self._index_map = {v: i for i, v in enumerate(self.node_list())}
+        return imap
+
+    def neighbor_table(self) -> tuple:
+        """``neighbor_table()[i]`` is ``neighbors(node_at(i))`` (cached)."""
+        table = getattr(self, "_neighbor_table", None)
+        if table is None:
+            table = self._neighbor_table = tuple(
+                self.neighbors(v) for v in self.node_list()
+            )
+        return table
+
+    def neighbor_indices(self) -> tuple:
+        """``neighbor_indices()[i]`` holds the dense indices of the
+        neighbors of ``node_at(i)`` (cached)."""
+        table = getattr(self, "_neighbor_indices", None)
+        if table is None:
+            imap = self.index_map()
+            table = self._neighbor_indices = tuple(
+                tuple(imap[w] for w in nbrs) for nbrs in self.neighbor_table()
+            )
+        return table
 
     def degree(self, v: Node) -> int:
         """Number of links incident to ``v``."""
@@ -91,38 +176,61 @@ class Topology(ABC):
     @property
     def num_channels(self) -> int:
         """Number of directed channels (2x the number of links)."""
-        return sum(self.degree(u) for u in self.nodes())
+        count = getattr(self, "_num_channels", None)
+        if count is None:
+            count = self._num_channels = sum(
+                len(nbrs) for nbrs in self.neighbor_table()
+            )
+        return count
 
     def distance_matrix(self):
         """All-pairs distance matrix as a numpy int array indexed by
         :meth:`index`.
 
-        The generic implementation loops over pairs; :class:`Mesh2D`,
-        :class:`Mesh3D` and :class:`Hypercube` override it with
-        vectorised computations (broadcasting / XOR-popcount).
+        Computed once per instance and cached (the returned array is
+        marked read-only; copy before mutating).  Concrete families
+        vectorise the computation — coordinate broadcasting for meshes,
+        XOR-popcount for hypercubes, ring-distance broadcasting for
+        k-ary n-cubes; the generic fallback runs one BFS per node over
+        the cached neighbor-index table.
         """
+        M = getattr(self, "_distance_matrix", None)
+        if M is None:
+            M = self._compute_distance_matrix()
+            M.setflags(write=False)
+            self._distance_matrix = M
+        return M
+
+    def _compute_distance_matrix(self):
+        """Generic fallback: per-source BFS over the neighbor tables
+        (O(n·(n+m)) instead of ``n²`` ``distance()`` calls)."""
         import numpy as np
 
         n = self.num_nodes
-        nodes = list(self.nodes())
+        nbrs = self.neighbor_indices()
         out = np.zeros((n, n), dtype=np.int64)
-        for i, u in enumerate(nodes):
-            for j in range(i + 1, n):
-                d = self.distance(u, nodes[j])
-                out[i, j] = d
-                out[j, i] = d
+        for src in range(n):
+            row = out[src]
+            seen = bytearray(n)
+            seen[src] = 1
+            frontier = deque((src,))
+            while frontier:
+                i = frontier.popleft()
+                d = row[i] + 1
+                for j in nbrs[i]:
+                    if not seen[j]:
+                        seen[j] = 1
+                        row[j] = d
+                        frontier.append(j)
         return out
 
     def diameter(self) -> int:
-        """Maximum shortest-path distance over all node pairs."""
-        best = 0
-        node_list = list(self.nodes())
-        for i, u in enumerate(node_list):
-            for v in node_list[i + 1 :]:
-                d = self.distance(u, v)
-                if d > best:
-                    best = d
-        return best
+        """Maximum shortest-path distance over all node pairs (from the
+        cached distance matrix)."""
+        diam = getattr(self, "_diameter", None)
+        if diam is None:
+            diam = self._diameter = int(self.distance_matrix().max())
+        return diam
 
     def are_adjacent(self, u: Node, v: Node) -> bool:
         """Whether ``(u, v)`` is a link of the topology."""

@@ -51,7 +51,7 @@ class Hypercube(Topology):
     def node_at(self, i: int) -> Node:
         return i
 
-    def distance_matrix(self):
+    def _compute_distance_matrix(self):
         """Vectorised Hamming distances: popcount of the XOR table."""
         import numpy as np
 
@@ -63,7 +63,7 @@ class Hypercube(Topology):
             xor >>= 1
         return out.astype(np.int64)
 
-    def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+    def _dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
         """E-cube routing: correct differing bits lowest dimension first.
 
         This is the deterministic deadlock-free unicast routing used by

@@ -75,7 +75,21 @@ class KAryNCube(Topology):
             i //= self.k
         return tuple(reversed(digits))
 
-    def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+    def _compute_distance_matrix(self):
+        """Vectorised ring distances summed over dimensions."""
+        import numpy as np
+
+        # digits[:, a] is coordinate a of every node, most significant
+        # dimension first (matching index()).
+        ids = np.arange(self.num_nodes)
+        digits = np.empty((self.num_nodes, self.n), dtype=np.int64)
+        for axis in range(self.n - 1, -1, -1):
+            digits[:, axis] = ids % self.k
+            ids = ids // self.k
+        diff = np.abs(digits[:, None, :] - digits[None, :, :])
+        return np.minimum(diff, self.k - diff).sum(axis=2)
+
+    def _dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
         """Dimension-ordered shortest path taking the shorter ring arc."""
         cur = list(u)
         path = [u]

@@ -68,7 +68,7 @@ class Mesh2D(Topology):
     def node_at(self, i: int) -> Node:
         return (i % self.width, i // self.width)
 
-    def distance_matrix(self):
+    def _compute_distance_matrix(self):
         """Vectorised Manhattan distances via coordinate broadcasting."""
         import numpy as np
 
@@ -78,7 +78,7 @@ class Mesh2D(Topology):
             np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
         ).astype(np.int64)
 
-    def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+    def _dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
         """X-first (row) then Y (column) shortest path, as in §5.3."""
         x, y = u
         path = [u]
@@ -155,7 +155,21 @@ class Mesh3D(Topology):
         i //= self.width
         return (x, i % self.height, i // self.height)
 
-    def dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
+    def _compute_distance_matrix(self):
+        """Vectorised Manhattan distances via coordinate broadcasting."""
+        import numpy as np
+
+        ids = np.arange(self.num_nodes)
+        xs = ids % self.width
+        ys = (ids // self.width) % self.height
+        zs = ids // (self.width * self.height)
+        return (
+            np.abs(xs[:, None] - xs[None, :])
+            + np.abs(ys[:, None] - ys[None, :])
+            + np.abs(zs[:, None] - zs[None, :])
+        ).astype(np.int64)
+
+    def _dimension_ordered_path(self, u: Node, v: Node) -> list[Node]:
         """X then Y then Z dimension-ordered shortest path."""
         cur = list(u)
         path = [u]

@@ -44,21 +44,27 @@ def route_path_through(labeling: Labeling, start: Node, dests: Sequence[Node]) -
     destination."""
     path = [start]
     w = start
-    queue = list(dests)
-    while queue:
-        if w == queue[0]:
-            queue.pop(0)
+    for d in dests:
+        if w == d:
             continue
-        w = labeling.route_step(w, queue[0])
-        path.append(w)
+        # splice the memoized R-walk for this segment (identical to
+        # stepping R hop by hop, without re-walking it per message)
+        path.extend(labeling.route_path_tuple(w, d)[1:])
+        w = d
     return path
 
 
 def dual_path_route(
-    request: MulticastRequest, labeling: Labeling | None = None
+    request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
     """Dual-path multicast routing (Figs. 6.11-6.12): one path through
-    the high-channel network, one through the low-channel network."""
+    the high-channel network, one through the low-channel network.
+
+    ``validate=False`` skips the O(path-length) self-check against the
+    request — the dynamic study calls this per message, and the check
+    never changes the returned star (the routing algorithms are
+    deterministic and covered by the static test suite).
+    """
     if labeling is None:
         labeling = canonical_labeling(request.topology)
     high, low = split_high_low(request, labeling)
@@ -68,7 +74,8 @@ def dual_path_route(
             paths.append(route_path_through(labeling, request.source, group))
             partition.append(tuple(group))
     star = MulticastStar(request.topology, request.source, tuple(paths), tuple(partition))
-    star.validate(request)
+    if validate:
+        star.validate(request)
     return star
 
 
@@ -143,7 +150,7 @@ def _multi_path_groups_by_interval(
 
 
 def multi_path_route(
-    request: MulticastRequest, labeling: Labeling | None = None
+    request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
     """Multi-path multicast routing (Fig. 6.14 / Fig. 6.20): up to four
     paths in a mesh, up to n in an n-cube.  Each sublist is handed to a
@@ -163,12 +170,13 @@ def multi_path_route(
         paths.append([request.source] + route_path_through(labeling, first_hop, dlist))
         partition.append(tuple(dlist))
     star = MulticastStar(topo, request.source, tuple(paths), tuple(partition))
-    star.validate(request)
+    if validate:
+        star.validate(request)
     return star
 
 
 def fixed_path_route(
-    request: MulticastRequest, labeling: Labeling | None = None
+    request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
     """Fixed-path multicast routing (§6.2.2, Fig. 6.17, suggested in
     [Lin/McKinley/Ni 1991]): the two paths simply follow the Hamiltonian
@@ -188,5 +196,6 @@ def fixed_path_route(
         paths.append([labeling.node_of(i) for i in range(l0, bottom - 1, -1)])
         partition.append(tuple(low))
     star = MulticastStar(request.topology, request.source, tuple(paths), tuple(partition))
-    star.validate(request)
+    if validate:
+        star.validate(request)
     return star

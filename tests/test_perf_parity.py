@@ -1,0 +1,281 @@
+"""Parity tests for the performance layer.
+
+The fast-path kernel, the topology/labeling caches and the parallel
+sweep runner are pure optimizations: every one of them must be
+bit-for-bit equivalent to the straightforward computation it replaced.
+This suite proves that equivalence —
+
+* cached topology accessors (distance matrix, diameter, channel count,
+  dimension-ordered paths) against uncached/BFS references;
+* the memoized routing function R against the per-call reference
+  implementations in :mod:`repro.labeling.reference`, property-based
+  over meshes, hypercubes and k-ary n-cubes;
+* the two-lane kernel against the heap-only legacy kernel, including
+  the FIFO wake-order of ``Event.succeed`` waiter batches;
+* :func:`repro.parallel.run_sweep` against a serial loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.labeling import canonical_labeling
+from repro.labeling.reference import (
+    ReferenceRouting,
+    reference_high_neighbors,
+    reference_low_neighbors,
+    reference_monotone_candidates,
+    reference_route_candidates,
+    reference_route_path,
+    reference_route_step,
+)
+from repro.parallel import SweepJob, derive_seed, replicate, run_sweep
+from repro.sim import LegacyEnvironment, SimConfig
+from repro.sim.kernel import Environment
+from repro.sim.runner import run_dynamic
+from repro.sim.traffic import Router
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from repro.topology.base import Topology
+
+TOPOLOGIES = [
+    Mesh2D(5, 4),
+    Mesh2D(8, 8),
+    Mesh3D(3, 3, 3),
+    Hypercube(4),
+    KAryNCube(3, 3),
+    KAryNCube(4, 2),
+]
+
+
+@st.composite
+def topology_and_nodes(draw, distinct=False):
+    topology = draw(st.sampled_from(TOPOLOGIES))
+    n = topology.num_nodes
+    i = draw(st.integers(0, n - 1))
+    j = draw(st.integers(0, n - 1))
+    if distinct and i == j:
+        j = (j + 1) % n
+    return topology, topology.node_at(i), topology.node_at(j)
+
+
+# ----------------------------------------------------------------------
+# Topology caches.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=str)
+def test_distance_matrix_matches_generic_bfs(topology):
+    """The (possibly vectorized) cached matrix equals a per-source BFS
+    over the neighbor tables — the definition of graph distance."""
+    M = topology.distance_matrix()
+    reference = Topology._compute_distance_matrix(topology)
+    assert np.array_equal(M, reference)
+    # cached: same (read-only) object on every call
+    assert topology.distance_matrix() is M
+    assert not M.flags.writeable
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=str)
+def test_diameter_and_channels_match_matrix(topology):
+    M = topology.distance_matrix()
+    assert topology.diameter() == int(M.max())
+    degree_sum = sum(len(topology.neighbors(v)) for v in topology.nodes())
+    assert topology.num_channels == degree_sum
+
+
+@settings(max_examples=120, deadline=None)
+@given(topology_and_nodes())
+def test_distance_scalar_matches_matrix(tc):
+    topology, u, v = tc
+    M = topology.distance_matrix()
+    assert topology.distance(u, v) == int(M[topology.index(u), topology.index(v)])
+
+
+@settings(max_examples=120, deadline=None)
+@given(topology_and_nodes())
+def test_dimension_ordered_path_cache_parity(tc):
+    topology, u, v = tc
+    cached = topology.dimension_ordered_path(u, v)
+    assert cached == topology._dimension_ordered_path(u, v)
+    again = topology.dimension_ordered_path(u, v)
+    assert again == cached
+    assert again is not cached  # always a fresh, caller-mutable copy
+
+
+# ----------------------------------------------------------------------
+# Labeling caches vs the uncached reference implementation of R.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=str)
+def test_label_position_tables(topology):
+    labeling = canonical_labeling(topology)
+    for v in topology.nodes():
+        assert labeling._label_of(v) == labeling.label(v)
+        assert labeling.high_neighbors(v) == reference_high_neighbors(labeling, v)
+        assert labeling.low_neighbors(v) == reference_low_neighbors(labeling, v)
+
+
+@settings(max_examples=200, deadline=None)
+@given(topology_and_nodes(distinct=True))
+def test_routing_function_parity(tc):
+    topology, u, v = tc
+    labeling = canonical_labeling(topology)
+    assert labeling.route_candidates(u, v) == reference_route_candidates(labeling, u, v)
+    assert labeling.monotone_candidates(u, v) == reference_monotone_candidates(
+        labeling, u, v
+    )
+    assert labeling.route_step(u, v) == reference_route_step(labeling, u, v)
+    assert labeling.route_path(u, v) == reference_route_path(labeling, u, v)
+    # the memoized path is served as an immutable tuple of the same walk
+    assert list(labeling.route_path_tuple(u, v)) == labeling.route_path(u, v)
+
+
+# ----------------------------------------------------------------------
+# Kernel parity.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("env_cls", [Environment, LegacyEnvironment])
+def test_event_succeed_wakes_waiters_fifo(env_cls):
+    """Waiters resume in registration order, interleaved with other
+    same-time callbacks in strict scheduling order."""
+    env = env_cls()
+    order = []
+    ev = env.event()
+    env.schedule(0.0, order.append, "pre")
+    for name in ("w1", "w2", "w3"):
+        ev.wait(lambda _, name=name: order.append(name))
+    env.schedule(0.0, lambda: ev.succeed())
+    env.schedule(0.0, order.append, "post")
+    env.run()
+    # "post" was scheduled before succeed() ran, so its sequence number
+    # precedes the waiters'.
+    assert order == ["pre", "post", "w1", "w2", "w3"]
+
+
+def test_fast_and_legacy_kernel_schedule_order_interleaved():
+    """Randomized mixed zero-delay/timed workload dispatches in the
+    same global order on both kernels."""
+    import random
+
+    def drive(env_cls):
+        rng = random.Random(1234)
+        env = env_cls()
+        log = []
+
+        def fire(tag):
+            log.append((round(env.now, 9), tag))
+            if len(log) < 400:
+                delay = rng.choice([0.0, 0.0, 0.5, 1.5])
+                env.schedule(delay, fire, f"{tag}/{len(log)}")
+
+        for i in range(5):
+            env.schedule(rng.choice([0.0, 1.0]), fire, f"root{i}")
+        env.run(until=300.0)
+        return log
+
+    assert drive(Environment) == drive(LegacyEnvironment)
+
+
+@pytest.mark.parametrize("scheme", ["dual-path", "multi-path", "tree-xfirst"])
+def test_dynamic_results_identical_across_kernels(scheme):
+    mesh = Mesh2D(6, 6)
+    cfg = SimConfig(
+        num_messages=150,
+        num_destinations=6,
+        mean_interarrival=400e-6,
+        channels_per_link=2,
+        seed=7,
+    )
+    fast = run_dynamic(mesh, scheme, cfg)
+    legacy = run_dynamic(mesh, scheme, cfg, env_factory=LegacyEnvironment)
+    assert fast.latency == legacy.latency
+    assert fast.sim_time == legacy.sim_time
+    assert fast.deliveries == legacy.deliveries
+    assert fast.worms == legacy.worms
+
+
+def test_reference_routing_path_is_bit_identical():
+    """The benchmark's reconstructed pre-optimization path (legacy
+    kernel + uncached routing + per-message validation) produces the
+    same simulation as the optimized default path."""
+    mesh = Mesh2D(6, 6)
+    cfg = SimConfig(
+        num_messages=100,
+        num_destinations=6,
+        mean_interarrival=400e-6,
+        channels_per_link=2,
+        seed=11,
+    )
+    router = Router(
+        mesh, "dual-path",
+        labeling=ReferenceRouting(canonical_labeling(mesh)),
+        validate=True,
+    )
+    baseline = run_dynamic(
+        mesh, "dual-path", cfg, router=router, env_factory=LegacyEnvironment
+    )
+    fast = run_dynamic(mesh, "dual-path", cfg)
+    assert baseline.latency == fast.latency
+    assert baseline.sim_time == fast.sim_time
+
+
+# ----------------------------------------------------------------------
+# Parallel sweep parity.
+# ----------------------------------------------------------------------
+
+
+def _small_jobs():
+    mesh = Mesh2D(5, 5)
+    base = SimConfig(
+        num_messages=60,
+        num_destinations=5,
+        mean_interarrival=500e-6,
+        channels_per_link=2,
+        seed=3,
+    )
+    return [
+        SweepJob(mesh, scheme, cfg)
+        for scheme in ("dual-path", "multi-path")
+        for cfg in replicate(base, 2)
+    ]
+
+
+def test_run_sweep_parallel_matches_serial_bit_for_bit():
+    jobs = _small_jobs()
+    serial = [run_dynamic(j.topology, j.scheme, j.config) for j in jobs]
+    for workers in (1, 2):
+        swept = run_sweep(jobs, workers=workers)
+        assert len(swept) == len(serial)
+        for a, b in zip(serial, swept):
+            assert a.latency == b.latency
+            assert a.sim_time == b.sim_time
+            assert a.injected_messages == b.injected_messages
+            assert a.deliveries == b.deliveries
+
+
+def test_run_sweep_accepts_plain_tuples():
+    jobs = _small_jobs()
+    as_tuples = [(j.topology, j.scheme, j.config) for j in jobs[:2]]
+    swept = run_sweep(as_tuples, workers=1)
+    serial = [run_dynamic(j.topology, j.scheme, j.config) for j in jobs[:2]]
+    assert [r.latency for r in swept] == [r.latency for r in serial]
+
+
+def test_derive_seed_deterministic_and_spread():
+    seeds = [derive_seed(42, i) for i in range(50)]
+    assert seeds == [derive_seed(42, i) for i in range(50)]
+    assert len(set(seeds)) == 50
+    assert all(0 <= s < 2**63 for s in seeds)
+    # a different base seed yields an unrelated sequence
+    assert set(seeds).isdisjoint(derive_seed(43, i) for i in range(50))
+
+
+def test_replicate_assigns_derived_seeds():
+    base = SimConfig(seed=42)
+    configs = replicate(base, 4)
+    assert [c.seed for c in configs] == [derive_seed(42, i) for i in range(4)]
+    assert all(c.num_messages == base.num_messages for c in configs)
