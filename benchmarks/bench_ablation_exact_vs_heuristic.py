@@ -6,6 +6,10 @@ this benchmark quantifies how much they give up: mean ratio of
 heuristic cost to exact optimum per model on a 5x4 mesh (one even
 side, as the sorted MP/MC algorithms need a Hamilton cycle) with 4
 destinations.
+
+Both sides of every pair are resolved through :mod:`repro.registry`,
+so the exact solvers and the heuristics go through the same catalogue
+the rest of the repo dispatches on.
 """
 
 from __future__ import annotations
@@ -15,23 +19,20 @@ from statistics import mean
 
 from conftest import scaled
 
-from repro.exact import (
-    minimal_steiner_tree_cost,
-    optimal_multicast_cycle,
-    optimal_multicast_path,
-    optimal_multicast_star_cost,
-    optimal_multicast_tree_cost,
-)
-from repro.heuristics import (
-    divided_greedy_route,
-    greedy_st_route,
-    sorted_mc_route,
-    sorted_mp_route,
-    xfirst_route,
-)
 from repro.models import random_multicast
+from repro.registry import get as get_spec
 from repro.topology import Mesh2D
-from repro.wormhole import dual_path_route, multi_path_route
+
+# heuristic registry name -> the exact registry name it approximates
+PAIRS = {
+    "sorted-mp": "omp",
+    "sorted-mc": "omc",
+    "greedy-st": "steiner",
+    "xfirst": "omt",
+    "divided-greedy": "omt",
+    "dual-path": "oms",
+    "multi-path": "oms",
+}
 
 
 def run():
@@ -40,30 +41,17 @@ def run():
     runs = scaled(15, minimum=5)
     requests = [random_multicast(mesh, 4, rng) for _ in range(runs)]
 
-    pairs = {
-        "sorted MP / OMP": (
-            sorted_mp_route,
-            lambda r: optimal_multicast_path(r).traffic,
-        ),
-        "sorted MC / OMC": (
-            sorted_mc_route,
-            lambda r: optimal_multicast_cycle(r).traffic,
-        ),
-        "greedy ST / MST": (greedy_st_route, minimal_steiner_tree_cost),
-        "X-first / OMT": (xfirst_route, optimal_multicast_tree_cost),
-        "divided greedy / OMT": (divided_greedy_route, optimal_multicast_tree_cost),
-        "dual-path / OMS": (dual_path_route, optimal_multicast_star_cost),
-        "multi-path / OMS": (multi_path_route, optimal_multicast_star_cost),
-    }
     rows = []
-    for name, (heuristic, exact) in pairs.items():
+    for heuristic_name, exact_name in PAIRS.items():
+        heuristic = get_spec(heuristic_name).fn
+        exact = get_spec(exact_name).fn
         ratios = []
         for r in requests:
             h = heuristic(r).traffic
             opt = exact(r)
             opt_cost = opt if isinstance(opt, (int, float)) else opt.traffic
             ratios.append(h / opt_cost)
-        rows.append([name, mean(ratios), max(ratios)])
+        rows.append([f"{heuristic_name} / {exact_name}", mean(ratios), max(ratios)])
     return rows
 
 

@@ -3,9 +3,8 @@
 
 from __future__ import annotations
 
-from conftest import static_sweep
+from conftest import resolve_algorithms, static_sweep
 
-from repro.heuristics import broadcast_route, multiple_unicast_route, sorted_mp_route
 from repro.topology import Hypercube
 
 KS = [10, 50, 100, 200, 400, 600, 900]
@@ -13,11 +12,11 @@ KS = [10, 50, 100, 200, 400, 600, 900]
 
 def run():
     cube = Hypercube(10)
-    algorithms = {
-        "sorted-MP": sorted_mp_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algorithms = resolve_algorithms({
+        "sorted-MP": "sorted-mp",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return static_sweep(cube, algorithms, KS, base_runs=30)
 
 

@@ -7,9 +7,8 @@ traffic, for dense destination sets)."""
 
 from __future__ import annotations
 
-from conftest import static_sweep
+from conftest import resolve_algorithms, static_sweep
 
-from repro.heuristics import broadcast_route, greedy_st_route, multiple_unicast_route
 from repro.topology import Mesh2D
 
 KS = [10, 50, 100, 200, 400, 700]
@@ -17,11 +16,11 @@ KS = [10, 50, 100, 200, 400, 700]
 
 def run():
     mesh = Mesh2D(32, 32)
-    algorithms = {
-        "greedy-ST": greedy_st_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algorithms = resolve_algorithms({
+        "greedy-ST": "greedy-st",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return static_sweep(mesh, algorithms, KS, base_runs=20)
 
 

@@ -7,9 +7,8 @@ improvement over the LEN algorithm in terms of the amount of traffic".
 
 from __future__ import annotations
 
-from conftest import static_sweep
+from conftest import resolve_algorithms, static_sweep
 
-from repro.heuristics import greedy_st_route, len_route, multiple_unicast_route
 from repro.topology import Hypercube
 
 KS = [10, 50, 100, 200, 400, 700]
@@ -17,11 +16,11 @@ KS = [10, 50, 100, 200, 400, 700]
 
 def run():
     cube = Hypercube(10)
-    algorithms = {
-        "greedy-ST": greedy_st_route,
-        "LEN": len_route,
-        "multi-unicast": multiple_unicast_route,
-    }
+    algorithms = resolve_algorithms({
+        "greedy-ST": "greedy-st",
+        "LEN": "len",
+        "multi-unicast": "multi-unicast",
+    })
     return static_sweep(cube, algorithms, KS, base_runs=20)
 
 

@@ -7,14 +7,8 @@ broadcast; divided greedy is always below X-first.
 
 from __future__ import annotations
 
-from conftest import static_sweep
+from conftest import resolve_algorithms, static_sweep
 
-from repro.heuristics import (
-    broadcast_route,
-    divided_greedy_route,
-    multiple_unicast_route,
-    xfirst_route,
-)
 from repro.topology import Mesh2D
 
 KS = [5, 10, 25, 50, 100, 180]
@@ -22,12 +16,12 @@ KS = [5, 10, 25, 50, 100, 180]
 
 def run():
     mesh = Mesh2D(16, 16)
-    algorithms = {
-        "divided-greedy": divided_greedy_route,
-        "X-first": xfirst_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algorithms = resolve_algorithms({
+        "divided-greedy": "divided-greedy",
+        "X-first": "xfirst",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return static_sweep(mesh, algorithms, KS, base_runs=40)
 
 

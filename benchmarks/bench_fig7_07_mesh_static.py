@@ -9,21 +9,20 @@ dense).
 
 from __future__ import annotations
 
-from conftest import static_sweep
+from conftest import resolve_algorithms, static_sweep
 
 from repro.topology import Mesh2D
-from repro.wormhole import dual_path_route, fixed_path_route, multi_path_route
 
 KS = [2, 5, 10, 20, 35, 50]
 
 
 def run():
     mesh = Mesh2D(8, 8)
-    algorithms = {
-        "multi-path": multi_path_route,
-        "dual-path": dual_path_route,
-        "fixed-path": fixed_path_route,
-    }
+    algorithms = resolve_algorithms({
+        "multi-path": "multi-path",
+        "dual-path": "dual-path",
+        "fixed-path": "fixed-path",
+    })
     return static_sweep(mesh, algorithms, KS, base_runs=60)
 
 

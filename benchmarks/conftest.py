@@ -60,6 +60,15 @@ def _fmt(v) -> str:
     return str(v)
 
 
+def resolve_algorithms(labels: dict) -> dict:
+    """Map figure-legend labels to route functions resolved through
+    :mod:`repro.registry`, so the benchmarks exercise exactly what the
+    catalogue registers (and break loudly if a registration vanishes)."""
+    from repro.registry import get as get_spec
+
+    return {label: get_spec(name).fn for label, name in labels.items()}
+
+
 def static_sweep(topology, algorithms: dict, ks, base_runs: int):
     """Mean additional traffic per algorithm over a destination-count
     sweep (the measurement behind Figs. 7.1-7.7).

@@ -3,13 +3,19 @@
 Commands
 --------
 
-``route``      route one multicast and report traffic / hops (optionally
-               drawing the pattern for 2D meshes);
-``simulate``   run the Chapter 7 dynamic study for one scheme;
-``mixed``      run the §8.2 unicast/multicast interaction study;
-``reproduce``  regenerate one Chapter 7 figure at a chosen scale;
-``labels``     print a mesh labeling grid (cf. Fig. 6.9);
-``deadlock``   run the §6.1 deadlock demonstrations.
+``route``       route one multicast and report traffic / hops (optionally
+                drawing the pattern for 2D meshes);
+``simulate``    run the Chapter 7 dynamic study for one scheme;
+``mixed``       run the §8.2 unicast/multicast interaction study;
+``reproduce``   regenerate one Chapter 7 figure at a chosen scale;
+``algorithms``  list every registered routing scheme, with capability
+                filters (kind / topology / deadlock freedom);
+``labels``      print a mesh labeling grid (cf. Fig. 6.9);
+``deadlock``    run the §6.1 deadlock demonstrations.
+
+Every scheme name is resolved through :mod:`repro.registry`, so new
+registrations appear in ``route --algorithm`` choices and the
+``algorithms`` listing without touching this module.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import registry
 from .models.request import MulticastRequest
 from .topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
 
@@ -58,39 +65,15 @@ def parse_node(topology, text: str):
     return node
 
 
-ALGORITHMS = {}
-
-
-def _algorithms():
-    if not ALGORITHMS:
-        from .heuristics import (
-            broadcast_route,
-            divided_greedy_route,
-            greedy_st_route,
-            len_route,
-            multiple_unicast_route,
-            sorted_mc_route,
-            sorted_mp_route,
-            xfirst_route,
-        )
-        from .wormhole import dual_path_route, fixed_path_route, multi_path_route
-
-        ALGORITHMS.update(
-            {
-                "sorted-mp": sorted_mp_route,
-                "sorted-mc": sorted_mc_route,
-                "greedy-st": greedy_st_route,
-                "xfirst": xfirst_route,
-                "divided-greedy": divided_greedy_route,
-                "len": len_route,
-                "multi-unicast": multiple_unicast_route,
-                "broadcast": broadcast_route,
-                "dual-path": dual_path_route,
-                "multi-path": multi_path_route,
-                "fixed-path": fixed_path_route,
-            }
-        )
-    return ALGORITHMS
+def _route_choices() -> list:
+    """Schemes offered to ``route --algorithm``: every registered spec
+    with a constructive route function (exact solvers are exponential
+    tools, listed by ``algorithms`` but not offered here)."""
+    return [
+        spec.name
+        for spec in registry.specs(routable=True, include_families=False)
+        if spec.kind != "exact"
+    ]
 
 
 def cmd_route(args) -> int:
@@ -98,8 +81,15 @@ def cmd_route(args) -> int:
     source = parse_node(topology, args.source)
     dests = tuple(parse_node(topology, d) for d in args.dest)
     request = MulticastRequest(topology, source, dests)
-    algorithm = _algorithms()[args.algorithm]
-    route = algorithm(request)
+    spec = registry.get(args.algorithm)
+    if not spec.supports(topology):
+        print(
+            f"{spec.name} is not defined on {topology} "
+            f"(supported families: {', '.join(spec.topologies)})",
+            file=sys.stderr,
+        )
+        return 2
+    route = spec.fn(request)
     hops = max(route.dest_hops(request.destinations).values())
     print(f"{args.algorithm} on {topology}: traffic={route.traffic} max_hops={hops}")
     if args.show:
@@ -178,6 +168,41 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_algorithms(args) -> int:
+    filters = {}
+    if args.kind:
+        filters["kind"] = args.kind
+    if args.topology:
+        filters["topology"] = (
+            parse_topology(args.topology) if ":" in args.topology else args.topology
+        )
+    if args.deadlock_free:
+        filters["deadlock_free"] = True
+    if args.simulable:
+        filters["simulable"] = True
+    rows = [
+        (
+            spec.name + (f" (= {', '.join(spec.aliases)})" if spec.aliases else ""),
+            spec.kind,
+            ", ".join(spec.topologies) if spec.topologies else "any",
+            spec.worm_style or "-",
+            "n/a" if spec.deadlock_free is None else ("yes" if spec.deadlock_free else "no"),
+            spec.reference,
+        )
+        for spec in registry.specs(**filters)
+    ]
+    if not rows:
+        print("no registered scheme matches the given filters", file=sys.stderr)
+        return 1
+    header = ("scheme", "kind", "topologies", "worm", "deadlock-free", "reference")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return 0
+
+
 def cmd_labels(args) -> int:
     topology = parse_topology(args.topology)
     if not isinstance(topology, Mesh2D):
@@ -229,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--topology", required=True, help="mesh:WxH | mesh3d:WxHxD | cube:N | torus:KxN")
     p.add_argument("--source", required=True)
     p.add_argument("--dest", action="append", required=True, help="repeatable")
-    p.add_argument("--algorithm", choices=sorted(_algorithms()), default="dual-path")
+    p.add_argument("--algorithm", choices=sorted(_route_choices()), default="dual-path")
     p.add_argument("--show", action="store_true", help="draw the pattern (2D meshes)")
     p.set_defaults(func=cmd_route)
 
@@ -264,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replication scale factor (1.0 = benchmark default)")
     p.set_defaults(func=cmd_reproduce)
 
+    p = sub.add_parser("algorithms", help="list registered routing schemes")
+    p.add_argument("--kind", choices=registry.KINDS, default=None)
+    p.add_argument("--topology", default=None,
+                   help="family (mesh2d/mesh3d/hypercube/torus/grid) or a "
+                        "topology spec like mesh:8x8")
+    p.add_argument("--deadlock-free", action="store_true",
+                   help="only schemes with a deadlock-freedom certificate")
+    p.add_argument("--simulable", action="store_true",
+                   help="only schemes the dynamic study can simulate")
+    p.set_defaults(func=cmd_algorithms)
+
     p = sub.add_parser("labels", help="print a mesh labeling grid")
     p.add_argument("--topology", default="mesh:4x3")
     p.add_argument("--spiral", action="store_true", help="use the spiral ablation labeling")
@@ -278,7 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except registry.UnknownSchemeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("run `python -m repro algorithms` for the full catalogue",
+              file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

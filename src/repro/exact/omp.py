@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastCycle, MulticastPath
+from ..registry import register
 from ..topology.base import Node, Topology
 
 
@@ -90,6 +91,13 @@ def held_karp_closed_walk_cost(topology: Topology, source: Node, dests) -> int:
     return int(min(dp[size - 1][j] + dist_sd[j] for j in range(k)))
 
 
+@register(
+    "omp",
+    kind="exact",
+    result_model="path",
+    aliases=("optimal-multicast-path",),
+    reference="Ch. 4 (Theorem 4.2; branch & bound over simple paths)",
+)
 def optimal_multicast_path(
     request: MulticastRequest, budget: int = 2_000_000
 ) -> MulticastPath:
@@ -110,6 +118,13 @@ def optimal_multicast_path(
     return path
 
 
+@register(
+    "omc",
+    kind="exact",
+    result_model="cycle",
+    aliases=("optimal-multicast-cycle",),
+    reference="Ch. 4 (Theorem 4.6; branch & bound over simple cycles)",
+)
 def optimal_multicast_cycle(
     request: MulticastRequest, budget: int = 2_000_000
 ) -> MulticastCycle:

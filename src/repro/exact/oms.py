@@ -10,9 +10,17 @@ subsets.  Strictly for small instances.
 from __future__ import annotations
 
 from ..models.request import MulticastRequest
+from ..registry import register
 from .omp import InfeasibleRoute, optimal_multicast_path
 
 
+@register(
+    "oms",
+    kind="exact",
+    result_model="cost",
+    aliases=("optimal-multicast-star",),
+    reference="Ch. 4 (partition DP over exact OMP group costs)",
+)
 def optimal_multicast_star_cost(
     request: MulticastRequest, budget_per_group: int = 500_000
 ) -> int:

@@ -13,6 +13,7 @@ either way this exact solver is exponential in k.
 from __future__ import annotations
 
 from ..models.request import MulticastRequest
+from ..registry import register
 from ..topology.base import Node, Topology
 
 
@@ -26,6 +27,13 @@ def shortest_path_dag(topology: Topology, source: Node) -> dict:
     return dag
 
 
+@register(
+    "omt",
+    kind="exact",
+    result_model="cost",
+    aliases=("optimal-multicast-tree",),
+    reference="Ch. 4 (Theorem 4.8; shortest-path DAG subset DP)",
+)
 def optimal_multicast_tree_cost(request: MulticastRequest) -> int:
     """Number of edges of an optimal multicast tree for the request."""
     topo = request.topology

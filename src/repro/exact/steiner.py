@@ -14,9 +14,16 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 
 from ..models.request import MulticastRequest
-from ..topology.base import Topology
+from ..registry import register
 
 
+@register(
+    "steiner",
+    kind="exact",
+    result_model="cost",
+    aliases=("minimal-steiner-tree",),
+    reference="Ch. 4 (Dreyfus-Wagner exact Steiner tree)",
+)
 def minimal_steiner_tree_cost(request: MulticastRequest) -> int:
     """Length of a minimal Steiner tree for the multicast set K."""
     topo = request.topology

@@ -18,23 +18,20 @@ or from the command line::
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from statistics import mean
 from typing import Callable
 
-from .heuristics import (
-    broadcast_route,
-    divided_greedy_route,
-    greedy_st_route,
-    len_route,
-    multiple_unicast_route,
-    sorted_mp_route,
-    xfirst_route,
-)
 from .models import random_multicast
+from .registry import get as get_spec
 from .sim import SimConfig, run_dynamic
 from .topology import Hypercube, Mesh2D
-from .wormhole import dual_path_route, fixed_path_route, multi_path_route
+
+
+def _algos(labels: dict[str, str]) -> dict[str, Callable]:
+    """Resolve figure-legend labels to route functions by registry
+    name, so every figure runs exactly what the catalogue registers."""
+    return {label: get_spec(name).fn for label, name in labels.items()}
 
 
 @dataclass(frozen=True)
@@ -101,11 +98,11 @@ def _dynamic_sweep(topology, schemes, param_name, values, cfg_for, messages):
 
 def fig_7_1(runs_per_point: int = 30) -> ExperimentResult:
     """Sorted MP vs baselines on a 32x32 mesh (additional traffic)."""
-    algos = {
-        "sorted-MP": sorted_mp_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algos = _algos({
+        "sorted-MP": "sorted-mp",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return ExperimentResult(
         "fig7.1", "Fig 7.1: additional traffic, 32x32 mesh", "k",
         tuple(algos), _static_sweep(Mesh2D(32, 32), algos, (10, 50, 100, 200, 400, 600, 900), runs_per_point),
@@ -114,11 +111,11 @@ def fig_7_1(runs_per_point: int = 30) -> ExperimentResult:
 
 def fig_7_2(runs_per_point: int = 30) -> ExperimentResult:
     """Sorted MP vs baselines on a 10-cube."""
-    algos = {
-        "sorted-MP": sorted_mp_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algos = _algos({
+        "sorted-MP": "sorted-mp",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return ExperimentResult(
         "fig7.2", "Fig 7.2: additional traffic, 10-cube", "k",
         tuple(algos), _static_sweep(Hypercube(10), algos, (10, 50, 100, 200, 400, 600, 900), runs_per_point),
@@ -127,11 +124,11 @@ def fig_7_2(runs_per_point: int = 30) -> ExperimentResult:
 
 def fig_7_3(runs_per_point: int = 20) -> ExperimentResult:
     """Greedy ST vs baselines on a 32x32 mesh."""
-    algos = {
-        "greedy-ST": greedy_st_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algos = _algos({
+        "greedy-ST": "greedy-st",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return ExperimentResult(
         "fig7.3", "Fig 7.3: additional traffic, 32x32 mesh", "k",
         tuple(algos), _static_sweep(Mesh2D(32, 32), algos, (10, 50, 100, 200, 400, 700), runs_per_point),
@@ -140,11 +137,11 @@ def fig_7_3(runs_per_point: int = 20) -> ExperimentResult:
 
 def fig_7_4(runs_per_point: int = 20) -> ExperimentResult:
     """Greedy ST vs LEN on a 10-cube."""
-    algos = {
-        "greedy-ST": greedy_st_route,
-        "LEN": len_route,
-        "multi-unicast": multiple_unicast_route,
-    }
+    algos = _algos({
+        "greedy-ST": "greedy-st",
+        "LEN": "len",
+        "multi-unicast": "multi-unicast",
+    })
     return ExperimentResult(
         "fig7.4", "Fig 7.4: additional traffic, 10-cube (vs LEN)", "k",
         tuple(algos), _static_sweep(Hypercube(10), algos, (10, 50, 100, 200, 400, 700), runs_per_point),
@@ -153,12 +150,12 @@ def fig_7_4(runs_per_point: int = 20) -> ExperimentResult:
 
 def fig_7_5(runs_per_point: int = 40) -> ExperimentResult:
     """X-first and divided greedy MT on a 16x16 mesh."""
-    algos = {
-        "divided-greedy": divided_greedy_route,
-        "X-first": xfirst_route,
-        "multi-unicast": multiple_unicast_route,
-        "broadcast": broadcast_route,
-    }
+    algos = _algos({
+        "divided-greedy": "divided-greedy",
+        "X-first": "xfirst",
+        "multi-unicast": "multi-unicast",
+        "broadcast": "broadcast",
+    })
     return ExperimentResult(
         "fig7.5", "Fig 7.5: additional traffic, 16x16 mesh (MT model)", "k",
         tuple(algos), _static_sweep(Mesh2D(16, 16), algos, (5, 10, 25, 50, 100, 180), runs_per_point),
@@ -167,11 +164,11 @@ def fig_7_5(runs_per_point: int = 40) -> ExperimentResult:
 
 def fig_7_6(runs_per_point: int = 60) -> ExperimentResult:
     """Multicast star methods on a 6-cube."""
-    algos = {
-        "multi-path": multi_path_route,
-        "dual-path": dual_path_route,
-        "fixed-path": fixed_path_route,
-    }
+    algos = _algos({
+        "multi-path": "multi-path",
+        "dual-path": "dual-path",
+        "fixed-path": "fixed-path",
+    })
     return ExperimentResult(
         "fig7.6", "Fig 7.6: additional traffic, 6-cube (star methods)", "k",
         tuple(algos), _static_sweep(Hypercube(6), algos, (2, 5, 10, 20, 35, 50), runs_per_point),
@@ -180,11 +177,11 @@ def fig_7_6(runs_per_point: int = 60) -> ExperimentResult:
 
 def fig_7_7(runs_per_point: int = 60) -> ExperimentResult:
     """Multicast star methods on an 8x8 mesh."""
-    algos = {
-        "multi-path": multi_path_route,
-        "dual-path": dual_path_route,
-        "fixed-path": fixed_path_route,
-    }
+    algos = _algos({
+        "multi-path": "multi-path",
+        "dual-path": "dual-path",
+        "fixed-path": "fixed-path",
+    })
     return ExperimentResult(
         "fig7.7", "Fig 7.7: additional traffic, 8x8 mesh (star methods)", "k",
         tuple(algos), _static_sweep(Mesh2D(8, 8), algos, (2, 5, 10, 20, 35, 50), runs_per_point),

@@ -8,9 +8,17 @@ from collections import deque
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 
 
+@register(
+    "multi-unicast",
+    kind="static-route",
+    topologies=("mesh2d", "mesh3d", "hypercube", "torus"),
+    result_model="tree",
+    reference="§1.1/§7.1 (one dimension-ordered copy per destination)",
+)
 def multiple_unicast_route(request: MulticastRequest) -> MulticastTree:
     """One separate copy per destination over the deterministic
     dimension-ordered shortest path.
@@ -29,6 +37,13 @@ def multiple_unicast_route(request: MulticastRequest) -> MulticastTree:
     return tree
 
 
+@register(
+    "broadcast",
+    kind="static-route",
+    topologies=("mesh2d", "mesh3d", "hypercube", "torus"),
+    result_model="tree",
+    reference="§7.1 (BFS spanning-tree broadcast; traffic always N-1)",
+)
 def broadcast_route(request: MulticastRequest) -> MulticastTree:
     """Deliver by broadcasting on a BFS spanning tree; the router hands
     the message to the local processor only at actual destinations.

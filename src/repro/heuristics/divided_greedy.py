@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 from ..topology.mesh import Mesh2D
 
@@ -113,6 +114,13 @@ def divided_greedy_step(local: Node, dests: Sequence[Node]) -> tuple[bool, dict]
     return deliver, {steps[d]: sub for d, sub in out.items() if sub}
 
 
+@register(
+    "divided-greedy",
+    kind="static-route",
+    topologies=("mesh2d",),
+    result_model="tree",
+    reference="§5.3 Fig. 5.6 (divided greedy MT heuristic)",
+)
 def divided_greedy_route(request: MulticastRequest) -> MulticastTree:
     """Drive the divided greedy multicast over the mesh."""
     if not isinstance(request.topology, Mesh2D):

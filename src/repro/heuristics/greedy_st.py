@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node, Topology
 from ..topology.hypercube import Hypercube
 from ..topology.mesh import Mesh2D, Mesh3D
@@ -105,6 +106,13 @@ def greedy_st_prepare(request: MulticastRequest) -> list[Node]:
     )
 
 
+@register(
+    "greedy-st",
+    kind="static-route",
+    topologies=("mesh2d", "mesh3d", "hypercube"),
+    result_model="tree",
+    reference="§5.2 Fig. 5.4 (greedy Steiner-tree heuristic)",
+)
 def greedy_st_route(request: MulticastRequest, resort: bool = False) -> MulticastTree:
     """Drive the distributed greedy ST algorithm (Fig. 5.4) over the
     network and return the realised multicast tree.

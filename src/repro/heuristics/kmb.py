@@ -15,9 +15,17 @@ from collections import defaultdict
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 
 
+@register(
+    "kmb",
+    kind="static-route",
+    topologies=("mesh2d", "mesh3d", "hypercube", "torus"),
+    result_model="tree",
+    reference="§5.2 (Kou-Markowsky-Berman 1978 Steiner baseline)",
+)
 def kmb_route(request: MulticastRequest) -> MulticastTree:
     """KMB Steiner heuristic; returns a realised multicast tree."""
     topo = request.topology

@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 from ..topology.hypercube import Hypercube
 
@@ -49,6 +50,13 @@ def len_step(cube: Hypercube, local: Node, dests: Sequence[Node]) -> tuple[bool,
     return deliver, groups
 
 
+@register(
+    "len",
+    kind="static-route",
+    topologies=("hypercube",),
+    result_model="tree",
+    reference="§5.2 (Lan-Esfahanian-Ni hypercube multicast tree)",
+)
 def len_route(request: MulticastRequest) -> MulticastTree:
     """Drive the LEN greedy multicast over the hypercube."""
     cube = request.topology

@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..labeling.cycle import HamiltonCycleMapping, canonical_cycle
 from ..models.request import MulticastRequest
 from ..models.results import MulticastCycle, MulticastPath
+from ..registry import register
 from ..topology.base import Node
 
 
@@ -62,6 +63,13 @@ def sorted_mp_next_hop(
     return best
 
 
+@register(
+    "sorted-mp",
+    kind="static-route",
+    topologies=("mesh2d", "hypercube"),
+    result_model="path",
+    reference="§5.1 Figs. 5.1-5.2 (Theorem 5.1; meshes need one even side)",
+)
 def sorted_mp_route(
     request: MulticastRequest, mapping: HamiltonCycleMapping | None = None
 ) -> MulticastPath:
@@ -76,6 +84,13 @@ def sorted_mp_route(
     return path
 
 
+@register(
+    "sorted-mc",
+    kind="static-route",
+    topologies=("mesh2d", "hypercube"),
+    result_model="cycle",
+    reference="§5.1 (Def. 3.2 acknowledgement cycle variant)",
+)
 def sorted_mc_route(
     request: MulticastRequest, mapping: HamiltonCycleMapping | None = None
 ) -> MulticastCycle:

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 from ..topology.mesh import Mesh2D
 
@@ -51,6 +52,13 @@ def xfirst_step(local: Node, dests: Sequence[Node]) -> tuple[bool, dict]:
     return deliver, groups
 
 
+@register(
+    "xfirst",
+    kind="static-route",
+    topologies=("mesh2d",),
+    result_model="tree",
+    reference="§5.3 Fig. 5.5 (Theorem 5.3)",
+)
 def xfirst_route(request: MulticastRequest) -> MulticastTree:
     """Drive the X-first multicast over the mesh; returns the tree."""
     if not isinstance(request.topology, Mesh2D):

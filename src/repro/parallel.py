@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from math import sqrt
 from typing import Iterable, Sequence
 
+from .registry import get as get_spec
 from .sim.config import SimConfig
 from .sim.runner import DynamicResult, run_dynamic
 from .sim.stats import Summary
@@ -45,11 +46,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One dynamic-simulation point of a sweep."""
+    """One dynamic-simulation point of a sweep.
+
+    The scheme name is checked against :mod:`repro.registry` at
+    construction, so a typo or a non-simulable scheme fails in the
+    driving process before any worker fans out."""
 
     topology: Topology
     scheme: str
     config: SimConfig
+
+    def __post_init__(self):
+        spec = get_spec(self.scheme)  # raises UnknownSchemeError on typos
+        if not spec.simulable:
+            raise ValueError(
+                f"scheme {self.scheme!r} is {spec.kind} and cannot be "
+                f"simulated by the dynamic study"
+            )
+        if not spec.supports(self.topology):
+            raise ValueError(
+                f"{spec.name} is not defined on {self.topology} "
+                f"(supported families: {', '.join(spec.topologies)})"
+            )
 
 
 def derive_seed(base_seed: int, run_index: int) -> int:

@@ -8,7 +8,7 @@ exponential (Poisson) message generation at every node.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

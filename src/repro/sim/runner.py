@@ -121,7 +121,9 @@ def run_dynamic(
     env = env_factory()
     net = WormholeNetwork(env, config)
     rng = random.Random(config.seed)
-    router = router or Router(topology, scheme)
+    router = router or Router(
+        topology, scheme, channels_per_link=config.channels_per_link
+    )
     nodes = list(topology.nodes())
     n = len(nodes)
     state = {"injected": 0}
@@ -233,7 +235,7 @@ def run_mixed(
     env = Environment()
     net = WormholeNetwork(env, config)
     rng = random.Random(config.seed)
-    router = Router(topology, scheme)
+    router = Router(topology, scheme, channels_per_link=config.channels_per_link)
     from ..labeling import canonical_labeling
 
     labeling = router.labeling or canonical_labeling(topology)
@@ -318,7 +320,7 @@ def run_static_scenario(
     config = config or SimConfig()
     env = Environment()
     net = WormholeNetwork(env, config)
-    router = Router(topology, scheme)
+    router = Router(topology, scheme, channels_per_link=config.channels_per_link)
     for mid, request in enumerate(requests, start=1):
         inject_specs(net, mid, router(request), config.channels_per_link, router)
     completed = net.run_to_completion()

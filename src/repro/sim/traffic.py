@@ -2,34 +2,40 @@
 (§7.2).
 
 Each multicast routing scheme is adapted into a function that maps a
-:class:`MulticastRequest` to the worm injections it causes:
+:class:`MulticastRequest` to the worm injections it causes.  Which
+adapter runs is decided by the scheme's registered *worm style* — a
+capability declared on its :class:`repro.registry.AlgorithmSpec` — so
+:class:`Router` is a thin registry lookup with no per-scheme name
+dispatch:
 
-* path-based schemes (dual-path, multi-path, fixed-path) yield one
-  :class:`PathSpec` per star path — independent worms;
-* the double-channel X-first tree yields one :class:`TreeSpec` per
-  quadrant subnetwork, each tagged so it runs on its own channel
-  copies;
-* the deadlock-prone e-cube tree (hypercubes) and plain X-first
-  multicast tree (meshes) yield a single untagged :class:`TreeSpec` on
-  the single-channel network — used by the §6.1 deadlock
-  demonstrations.
+* ``star`` — path-based schemes (dual-path, multi-path, fixed-path)
+  yield one :class:`PathSpec` per star path — independent worms;
+* ``vc-star`` — the ``virtual-channel-<p>`` family pins each path worm
+  to its own virtual-channel plane;
+* ``adaptive`` — ``dual-path-adaptive`` worms carry a label-sorted
+  itinerary and route hop by hop at simulation time;
+* ``xfirst-tree`` — the X-first tree: on double channels one tagged
+  :class:`TreeSpec` per quadrant subnetwork (§6.2's deadlock-free
+  deployment), on single channels the plain §6.1 tree the deadlock
+  demonstrations wedge;
+* ``tree`` — the deadlock-prone e-cube tree (hypercubes) as a single
+  untagged :class:`TreeSpec`;
+* ``vct-tree`` — the buffered-replication VCT router of ref. [21].
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 from ..heuristics.xfirst import xfirst_route
 from ..labeling import canonical_labeling
 from ..models.request import MulticastRequest
+from ..registry import AlgorithmSpec, get as get_spec, names, register_spec
+from ..topology.hypercube import Hypercube
 from ..wormhole.cdg import tree_stages
 from ..wormhole.ecube_tree import ecube_tree_route
-from ..wormhole.star_routing import (
-    dual_path_route,
-    fixed_path_route,
-    multi_path_route,
-)
+from ..wormhole.star_routing import split_high_low
 from ..wormhole.subnetworks import double_channel_xfirst_route, partition_destinations
 
 
@@ -92,101 +98,150 @@ def _tree_to_spec(tree, destinations, tag=None) -> TreeSpec:
     )
 
 
+# ----------------------------------------------------------------------
+# Worm adapters, keyed by the registry's ``worm_style`` capability.
+# ----------------------------------------------------------------------
+
+_WORM_ADAPTERS: dict[str, Callable] = {}
+
+
+def worm_adapter(style: str):
+    """Register the injection adapter for one ``worm_style``."""
+
+    def decorate(fn: Callable) -> Callable:
+        _WORM_ADAPTERS[style] = fn
+        return fn
+
+    return decorate
+
+
+@worm_adapter("star")
+def _star_worms(router: "Router", request: MulticastRequest) -> list:
+    # path routes are computed per message in the dynamic study;
+    # validation is redundant there (the algorithms are deterministic
+    # and statically tested), so it is skipped unless the router was
+    # built with validate=True.
+    star = router.spec.fn(request, router.labeling, validate=router.validate)
+    return _star_to_specs(star)
+
+
+@worm_adapter("vc-star")
+def _vc_star_worms(router: "Router", request: MulticastRequest) -> list:
+    star = router.spec.fn(request, router.num_planes, router.labeling)
+    return [
+        PathSpec(tuple(path), frozenset(group), plane)
+        for path, group, plane in zip(star.paths, star.partition, star.planes)
+    ]
+
+
+@worm_adapter("adaptive")
+def _adaptive_worms(router: "Router", request: MulticastRequest) -> list:
+    high, low = split_high_low(request, router.labeling)
+    return [
+        AdaptiveSpec(request.source, tuple(group))
+        for group in (high, low)
+        if group
+    ]
+
+
+@worm_adapter("vct-tree")
+def _vct_tree_worms(router: "Router", request: MulticastRequest) -> list:
+    tree = (
+        ecube_tree_route(request)
+        if isinstance(router.topology, Hypercube)
+        else xfirst_route(request)
+    )
+    return [
+        VCTTreeSpec(request.source, tree.arcs, frozenset(request.destinations))
+    ]
+
+
+@worm_adapter("tree")
+def _tree_worms(router: "Router", request: MulticastRequest) -> list:
+    return [_tree_to_spec(router.spec.fn(request), request.destinations)]
+
+
+@worm_adapter("xfirst-tree")
+def _xfirst_tree_worms(router: "Router", request: MulticastRequest) -> list:
+    if router.channels_per_link >= router.spec.min_channels:
+        # double channels: one tree per quadrant subnetwork.  Each
+        # quadrant tree delivers only its own quadrant's destinations,
+        # even when it passes through another quadrant's destination on
+        # a boundary row/column.
+        parts = partition_destinations(request.source, request.destinations)
+        return [
+            _tree_to_spec(tree, parts[quadrant], tag=quadrant)
+            for quadrant, tree in double_channel_xfirst_route(request)
+        ]
+    # single channels: the deadlock-prone §6.1 mesh tree.
+    return [_tree_to_spec(xfirst_route(request), request.destinations)]
+
+
+register_spec(
+    AlgorithmSpec(
+        name="vct-tree",
+        kind="dynamic-worm",
+        topologies=("mesh2d", "hypercube"),
+        worm_style="vct-tree",
+        # virtual cut-through buffers the whole message at a blocked
+        # node, so a waiting message holds no channels: the channel
+        # dependency relation is empty (deadlock moved into buffers,
+        # which the structured pool bounds).
+        deadlock_free=True,
+        cdg_certificate=lambda topology, params=None: frozenset(),
+        reference="ref. [21] buffered-replication VCT multicast router (§2.2)",
+    )
+)
+
+
 class Router:
     """Maps requests to worm specs for one routing scheme on one
     topology (precomputing the labeling once).
 
-    ``labeling`` overrides the canonical labeling — the throughput
-    benchmark passes a :class:`~repro.labeling.reference.ReferenceRouting`
-    proxy here to route on the uncached baseline path.  ``validate=True``
-    re-enables the per-message route self-check the hot path skips.
+    The scheme name is resolved through :mod:`repro.registry`; the
+    spec's ``worm_style`` capability selects the injection adapter, so
+    adding a scheme never touches this class.  ``labeling`` overrides
+    the canonical labeling — the throughput benchmark passes a
+    :class:`~repro.labeling.reference.ReferenceRouting` proxy here to
+    route on the uncached baseline path.  ``validate=True`` re-enables
+    the per-message route self-check the hot path skips.
+    ``channels_per_link`` mirrors the simulated network's channel
+    multiplicity; the X-first tree uses it to pick between the
+    double-channel quadrant subnetworks and the plain single-channel
+    tree (one spec, both deployments).
     """
 
-    PATH_SCHEMES = ("dual-path", "multi-path", "fixed-path")
-    TREE_SCHEMES = ("tree-xfirst", "ecube-tree", "xfirst-tree")
-    ADAPTIVE_SCHEMES = ("dual-path-adaptive",)
-    VCT_TREE_SCHEMES = ("vct-tree",)
-    VC_PREFIX = "virtual-channel-"  # e.g. "virtual-channel-4"
+    # Pre-registry scheme groupings, kept for compatibility and derived
+    # from the registry so they never drift from it.
+    PATH_SCHEMES = tuple(names(worm_style="star"))
+    TREE_SCHEMES = tuple(names(worm_style="tree")) + tuple(names(worm_style="xfirst-tree"))
+    ADAPTIVE_SCHEMES = tuple(names(worm_style="adaptive"))
+    VCT_TREE_SCHEMES = tuple(names(worm_style="vct-tree"))
+    VC_PREFIX = "virtual-channel-"  # resolved by the registry's parametric family
 
-    def __init__(self, topology, scheme: str, labeling=None, validate: bool = False):
-        self.num_planes = 0
-        self.validate = validate
-        if scheme.startswith(self.VC_PREFIX):
-            self.num_planes = int(scheme[len(self.VC_PREFIX):])
-            if self.num_planes < 1:
-                raise ValueError("need at least one virtual-channel plane")
-        elif scheme not in (
-            self.PATH_SCHEMES
-            + self.TREE_SCHEMES
-            + self.ADAPTIVE_SCHEMES
-            + self.VCT_TREE_SCHEMES
-        ):
-            raise ValueError(f"unknown routing scheme {scheme!r}")
+    def __init__(
+        self,
+        topology,
+        scheme: str,
+        labeling=None,
+        validate: bool = False,
+        channels_per_link: int = 1,
+    ):
+        spec = get_spec(scheme)
+        if not spec.simulable:
+            raise ValueError(
+                f"scheme {scheme!r} is {spec.kind} and has no worm adapter; "
+                f"the dynamic study needs a dynamic-worm scheme"
+            )
+        self.spec = spec
         self.topology = topology
         self.scheme = scheme
-        if labeling is None and (
-            self.num_planes or scheme in self.PATH_SCHEMES + self.ADAPTIVE_SCHEMES
-        ):
+        self.validate = validate
+        self.channels_per_link = channels_per_link
+        self.num_planes = spec.params.get("planes", 0)
+        if labeling is None and spec.requires_labeling:
             labeling = canonical_labeling(topology)
         self.labeling = labeling
 
     def __call__(self, request: MulticastRequest) -> list:
-        if self.num_planes:
-            from ..wormhole.virtual_channels import virtual_channel_route
-
-            star = virtual_channel_route(request, self.num_planes, self.labeling)
-            return [
-                PathSpec(tuple(path), frozenset(group), plane)
-                for path, group, plane in zip(star.paths, star.partition, star.planes)
-            ]
-        # path routes are computed per message in the dynamic study;
-        # validation is redundant there (the algorithms are
-        # deterministic and statically tested), so it is skipped unless
-        # the router was built with validate=True.
-        if self.scheme == "dual-path":
-            return _star_to_specs(
-                dual_path_route(request, self.labeling, validate=self.validate)
-            )
-        if self.scheme == "dual-path-adaptive":
-            from ..wormhole.star_routing import split_high_low
-
-            high, low = split_high_low(request, self.labeling)
-            return [
-                AdaptiveSpec(request.source, tuple(group))
-                for group in (high, low)
-                if group
-            ]
-        if self.scheme == "multi-path":
-            return _star_to_specs(
-                multi_path_route(request, self.labeling, validate=self.validate)
-            )
-        if self.scheme == "fixed-path":
-            return _star_to_specs(
-                fixed_path_route(request, self.labeling, validate=self.validate)
-            )
-        if self.scheme == "vct-tree":
-            from ..topology.hypercube import Hypercube
-
-            tree = (
-                ecube_tree_route(request)
-                if isinstance(self.topology, Hypercube)
-                else xfirst_route(request)
-            )
-            return [
-                VCTTreeSpec(request.source, tree.arcs, frozenset(request.destinations))
-            ]
-        if self.scheme == "tree-xfirst":
-            # each quadrant tree delivers only its own quadrant's
-            # destinations, even when it passes through another
-            # quadrant's destination on a boundary row/column.
-            parts = partition_destinations(request.source, request.destinations)
-            return [
-                _tree_to_spec(tree, parts[quadrant], tag=quadrant)
-                for quadrant, tree in double_channel_xfirst_route(request)
-            ]
-        if self.scheme == "ecube-tree":
-            tree = ecube_tree_route(request)
-            return [_tree_to_spec(tree, request.destinations)]
-        # "xfirst-tree": the deadlock-prone single-channel mesh tree
-        tree = xfirst_route(request)
-        return [_tree_to_spec(tree, request.destinations)]
+        return _WORM_ADAPTERS[self.spec.worm_style](self, request)

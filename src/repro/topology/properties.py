@@ -11,7 +11,6 @@ mesh-vs-hypercube comparison can be tabulated for any size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from statistics import mean
 
 from .base import Topology
 from .hypercube import Hypercube
@@ -70,8 +69,6 @@ def bisection_width(topology: Topology) -> int:
 def average_distance(topology: Topology) -> float:
     """Mean shortest-path distance over distinct node pairs (uses the
     vectorised distance matrix)."""
-    import numpy as np
-
     M = topology.distance_matrix()
     n = M.shape[0]
     return float(M.sum() / (n * (n - 1)))

@@ -76,6 +76,21 @@ def render_route(mesh: Mesh2D, route, request: MulticastRequest) -> str:
     return "\n".join(lines)
 
 
+def render_scheme(mesh: Mesh2D, scheme: str, request: MulticastRequest) -> str:
+    """Route ``request`` with a registry scheme name and render the
+    pattern — e.g. ``render_scheme(mesh, "greedy-st", req)``."""
+    from .registry import get as get_spec
+
+    spec = get_spec(scheme)
+    if not spec.routable:
+        raise ValueError(
+            f"scheme {scheme!r} has no static route function to render"
+        )
+    if not spec.supports(mesh):
+        raise ValueError(f"{spec.name} is not defined on {mesh}")
+    return render_route(mesh, spec.fn(request), request)
+
+
 def render_labeling(mesh: Mesh2D, labeling) -> str:
     """Render a node labeling as a grid of numbers (cf. Fig. 6.9)."""
     width = len(str(mesh.num_nodes - 1))

@@ -15,6 +15,7 @@ from collections import deque
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import register
 from ..topology.base import Node
 from ..topology.hypercube import Hypercube
 
@@ -34,6 +35,15 @@ def ecube_step(cube: Hypercube, local: Node, dests) -> tuple[bool, dict]:
     return deliver, groups
 
 
+@register(
+    "ecube-tree",
+    kind="dynamic-worm",
+    topologies=("hypercube",),
+    result_model="tree",
+    worm_style="tree",
+    deadlock_free=False,
+    reference="§6.1 Fig. 6.1 (lockstep e-cube tree; the deadlock counterexample)",
+)
 def ecube_tree_route(request: MulticastRequest) -> MulticastTree:
     """Drive the e-cube multicast tree over the hypercube."""
     cube = request.topology

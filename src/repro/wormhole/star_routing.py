@@ -18,6 +18,7 @@ from ..labeling import canonical_labeling
 from ..labeling.base import Labeling
 from ..models.request import MulticastRequest
 from ..models.results import MulticastStar
+from ..registry import AlgorithmSpec, register, register_spec
 from ..topology.base import Node
 from ..topology.mesh import Mesh2D
 
@@ -54,6 +55,34 @@ def route_path_through(labeling: Labeling, start: Node, dests: Sequence[Node]) -
     return path
 
 
+#: topology families with a canonical Hamiltonian labeling (the
+#: substrates every label-monotone path scheme runs on).
+LABELED_FAMILIES = ("mesh2d", "mesh3d", "hypercube", "torus")
+
+
+def star_cdg_certificate(topology, params=None):
+    """Conservative CDG certifying deadlock freedom of label-monotone
+    path routing on ``topology``: the union of the full high- and
+    low-subnetwork CDGs (disjoint channel sets, so the union is acyclic
+    iff each is — Assertions 2-3 / Corollaries 6.1-6.2)."""
+    from ..labeling import canonical_labeling
+    from .cdg import full_star_cdg
+
+    labeling = canonical_labeling(topology)
+    return full_star_cdg(labeling, "high") | full_star_cdg(labeling, "low")
+
+
+@register(
+    "dual-path",
+    kind="dynamic-worm",
+    topologies=LABELED_FAMILIES,
+    result_model="star",
+    worm_style="star",
+    requires_labeling=True,
+    deadlock_free=True,
+    cdg_certificate=star_cdg_certificate,
+    reference="§6.2 Figs. 6.11-6.12 (Assertion 2)",
+)
 def dual_path_route(
     request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
@@ -149,6 +178,17 @@ def _multi_path_groups_by_interval(
     return groups
 
 
+@register(
+    "multi-path",
+    kind="dynamic-worm",
+    topologies=LABELED_FAMILIES,
+    result_model="star",
+    worm_style="star",
+    requires_labeling=True,
+    deadlock_free=True,
+    cdg_certificate=star_cdg_certificate,
+    reference="§6.2 Figs. 6.13-6.14 (Assertion 3)",
+)
 def multi_path_route(
     request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
@@ -175,6 +215,17 @@ def multi_path_route(
     return star
 
 
+@register(
+    "fixed-path",
+    kind="dynamic-worm",
+    topologies=LABELED_FAMILIES,
+    result_model="star",
+    worm_style="star",
+    requires_labeling=True,
+    deadlock_free=True,
+    cdg_certificate=star_cdg_certificate,
+    reference="§6.2 (one fixed path per direction; Corollary 6.2)",
+)
 def fixed_path_route(
     request: MulticastRequest, labeling: Labeling | None = None, validate: bool = True
 ) -> MulticastStar:
@@ -199,3 +250,17 @@ def fixed_path_route(
     if validate:
         star.validate(request)
     return star
+
+
+register_spec(
+    AlgorithmSpec(
+        name="dual-path-adaptive",
+        kind="dynamic-worm",
+        topologies=LABELED_FAMILIES,
+        worm_style="adaptive",
+        requires_labeling=True,
+        deadlock_free=True,
+        cdg_certificate=star_cdg_certificate,
+        reference="§8.2 (minimal-adaptive dual-path: any free label-monotone profitable channel)",
+    )
+)

@@ -19,6 +19,7 @@ from collections import deque
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree
+from ..registry import AlgorithmSpec, register_spec
 from ..topology.base import Node
 from ..topology.mesh import Mesh2D
 
@@ -145,3 +146,39 @@ def double_channel_xfirst_route(
     if delivered_all != set(request.destinations):
         raise RuntimeError("double-channel X-first failed to deliver")
     return results
+
+
+def quadrant_cdg_certificate(topology, params=None):
+    """Conservative CDG certifying the double-channel X-first tree:
+    the four quadrant subnetworks are independent channel sets (each
+    edge tagged by its quadrant), and each quadrant CDG is acyclic
+    because tree levels strictly advance the quadrant's partial order
+    (Fig. 6.8 / Assertion 1)."""
+    from .cdg import full_quadrant_cdg
+
+    edges = set()
+    for quadrant in QUADRANTS:
+        edges |= {
+            ((c1, quadrant), (c2, quadrant))
+            for c1, c2 in full_quadrant_cdg(topology, quadrant)
+        }
+    return edges
+
+
+register_spec(
+    AlgorithmSpec(
+        name="xfirst-tree",
+        kind="dynamic-worm",
+        topologies=("mesh2d",),
+        worm_style="xfirst-tree",
+        deadlock_free=True,
+        min_channels=2,
+        cdg_certificate=quadrant_cdg_certificate,
+        aliases=("tree-xfirst",),
+        reference=(
+            "§5.3 X-first tree on the §6.2 double-channel quadrant "
+            "subnetworks (Fig. 6.8); single-channel deployment is the "
+            "Fig. 6.4 deadlock counterexample"
+        ),
+    )
+)

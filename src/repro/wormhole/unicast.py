@@ -16,7 +16,7 @@ from typing import Callable
 
 from ..topology.base import Node, Topology
 from ..topology.hypercube import Hypercube
-from ..topology.mesh import Mesh2D, Mesh3D
+from ..topology.mesh import Mesh2D
 
 
 def xfirst_next_hop(mesh: Mesh2D, u: Node, dest: Node) -> Node | None:

@@ -27,6 +27,7 @@ from ..labeling import canonical_labeling
 from ..labeling.base import Labeling
 from ..models.request import MulticastRequest
 from ..models.results import MulticastStar
+from ..registry import register_family
 from .star_routing import route_path_through, split_high_low
 
 
@@ -49,6 +50,41 @@ def distribute_over_planes(dests: Sequence, num_planes: int) -> list[list]:
     return [g for g in groups if g]
 
 
+def _parse_planes(suffix: str):
+    """Family-suffix parser for ``virtual-channel-<p>``: non-numeric
+    suffixes are not of this family (fall through to unknown-scheme);
+    a numeric plane count below one is rejected outright."""
+    if not suffix.isdigit():
+        return None
+    planes = int(suffix)
+    if planes < 1:
+        raise ValueError("need at least one virtual-channel plane")
+    return {"planes": planes}
+
+
+def vc_cdg_certificate(topology, params=None):
+    """Per-plane tagged copies of the high/low star CDG: every plane is
+    an independent channel set routed by the same label-monotone rule,
+    so the disjoint union certifies all p planes at once."""
+    from .star_routing import star_cdg_certificate
+
+    base = star_cdg_certificate(topology)
+    planes = params.get("planes", 1) if params else 1
+    return {((c1, p), (c2, p)) for p in range(planes) for c1, c2 in base}
+
+
+@register_family(
+    "virtual-channel-",
+    parse=_parse_planes,
+    kind="dynamic-worm",
+    topologies=("mesh2d", "mesh3d", "hypercube", "torus"),
+    result_model="star",
+    worm_style="vc-star",
+    requires_labeling=True,
+    deadlock_free=True,
+    cdg_certificate=vc_cdg_certificate,
+    reference="§8.2 (p virtual-channel planes over the high/low subnetworks)",
+)
 def virtual_channel_route(
     request: MulticastRequest,
     num_planes: int = 2,

@@ -7,7 +7,7 @@ from collections import deque
 
 import pytest
 
-from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from repro.topology import Hypercube, Mesh2D
 
 
 def bfs_distance(topology, u, v) -> int:

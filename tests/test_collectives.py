@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.collectives import barrier, broadcast_value, gather, reduce
 from repro.progmodel import Multicomputer

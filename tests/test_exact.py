@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.exact import (
     held_karp_closed_walk_cost,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import Environment, Event, Timeout
+from repro.sim import Environment
 
 
 class TestScheduling:

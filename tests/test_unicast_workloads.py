@@ -8,7 +8,7 @@ import random
 import pytest
 
 from repro.labeling import canonical_labeling
-from repro.topology import Hypercube, KAryNCube, Mesh2D
+from repro.topology import Hypercube, Mesh2D
 from repro.workloads import PATTERNS, bit_reversal, broadcast, local, subcube, transpose, uniform
 from repro.wormhole import is_acyclic
 from repro.wormhole.unicast import (

@@ -11,7 +11,6 @@ from repro.heuristics import xfirst_route
 from repro.models import MulticastRequest, random_multicast
 from repro.sim import (
     Environment,
-    Router,
     SimConfig,
     WormholeNetwork,
     inject_vct_tree,
@@ -21,7 +20,6 @@ from repro.sim import (
 )
 from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
 from repro.topology.properties import average_distance, bisection_width, profile
-from repro.wormhole import ecube_tree_route
 
 
 class TestTreeChains:

@@ -3,7 +3,6 @@ retry paths, and drain edge cases across the switching substrates."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.labeling import canonical_labeling
 from repro.sim import Environment, SAFNetwork, SimConfig, WormholeNetwork

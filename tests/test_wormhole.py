@@ -24,7 +24,6 @@ from repro.wormhole import (
     combined_cdg,
     double_channel_xfirst_route,
     dual_path_route,
-    ecube_tree_route,
     fig_6_1_broadcast_deadlock_cdg,
     fig_6_4_xfirst_deadlock_cdg,
     find_cycle,
@@ -36,7 +35,6 @@ from repro.wormhole import (
     partition_destinations,
     quadrant_channels,
     split_high_low,
-    star_stages,
     tree_stages,
 )
 
