@@ -4,18 +4,26 @@ Commands
 --------
 
 ``route``       route one multicast and report traffic / hops (optionally
-                drawing the pattern for 2D meshes);
+                drawing the pattern for 2D meshes, optionally around
+                ``--fault`` channels);
 ``simulate``    run the Chapter 7 dynamic study for one scheme;
+``faults``      run the fault-injection degradation study (delivery
+                ratio and latency vs. link-fault rate, with retry);
 ``mixed``       run the §8.2 unicast/multicast interaction study;
 ``reproduce``   regenerate one Chapter 7 figure at a chosen scale;
 ``algorithms``  list every registered routing scheme, with capability
-                filters (kind / topology / deadlock freedom);
+                filters (kind / topology / deadlock freedom / fault
+                tolerance);
 ``labels``      print a mesh labeling grid (cf. Fig. 6.9);
 ``deadlock``    run the §6.1 deadlock demonstrations.
 
 Every scheme name is resolved through :mod:`repro.registry`, so new
 registrations appear in ``route --algorithm`` choices and the
 ``algorithms`` listing without touching this module.
+
+Exit codes: 0 success, 2 usage errors (unknown scheme, bad node, ...),
+3 no fault-avoiding route exists (:class:`Unroutable`, the blocking
+channel is named on stderr).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import sys
 from . import registry
 from .models.request import MulticastRequest
 from .topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+from .wormhole.fault_tolerance import Unroutable
 
 
 def parse_topology(spec: str):
@@ -76,6 +85,22 @@ def _route_choices() -> list:
     ]
 
 
+def _parse_fault(topology, text: str) -> tuple:
+    """Parse a ``--fault`` directed channel, ``SRC>DST``."""
+    head, sep, tail = text.partition(">")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"bad fault spec {text!r} (expected SRC>DST, e.g. 1,1>2,1)"
+        )
+    u = parse_node(topology, head)
+    v = parse_node(topology, tail)
+    if not topology.are_adjacent(u, v):
+        raise argparse.ArgumentTypeError(
+            f"fault {text!r} is not a channel: {u!r} and {v!r} are not adjacent"
+        )
+    return (u, v)
+
+
 def cmd_route(args) -> int:
     topology = parse_topology(args.topology)
     source = parse_node(topology, args.source)
@@ -89,7 +114,21 @@ def cmd_route(args) -> int:
             file=sys.stderr,
         )
         return 2
-    route = spec.fn(request)
+    if args.fault:
+        faults = [_parse_fault(topology, f) for f in args.fault]
+        if not spec.fault_tolerant:
+            tolerant = ", ".join(
+                s.name for s in registry.specs(fault_tolerant=True)
+            )
+            print(
+                f"{spec.name} has no fault-tolerant router; "
+                f"fault-tolerant schemes: {tolerant}",
+                file=sys.stderr,
+            )
+            return 2
+        route = spec.fault_route(request, faults)
+    else:
+        route = spec.fn(request)
     hops = max(route.dest_hops(request.destinations).values())
     print(f"{args.algorithm} on {topology}: traffic={route.traffic} max_hops={hops}")
     if args.show:
@@ -141,6 +180,122 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .parallel import NoResultsError, SweepJob, pooled_latency, replicate, run_sweep
+    from .sim import SimConfig
+
+    topology = parse_topology(args.topology)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    rates = [float(r) for r in args.fault_rates.split(",")]
+    cfg = SimConfig(
+        num_messages=args.messages,
+        num_destinations=args.dests,
+        mean_interarrival=args.interarrival_us * 1e-6,
+        seed=args.seed,
+        fault_mtbf=args.mtbf_us * 1e-6,
+        fault_mttr=args.mttr_us * 1e-6,
+        max_retries=args.max_retries,
+    )
+    # one sweep point per (scheme, rate); replications derive their
+    # seeds from the base seed, so every scheme sees the same traffic
+    # and the same fault schedule at a given rate (paired comparison)
+    jobs: list = []
+    points: list = []
+    for scheme in schemes:
+        for rate in rates:
+            reps = replicate(
+                SweepJob(
+                    topology,
+                    scheme,
+                    cfg.replace(link_fault_rate=rate),
+                    "resilient",
+                ),
+                args.replications,
+            )
+            points.append((scheme, rate, len(jobs), len(reps)))
+            jobs.extend(reps)
+
+    failures: list = []
+    results = run_sweep(
+        jobs,
+        workers=args.workers,
+        timeout=args.job_timeout,
+        retries=args.job_retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        on_error="record",
+        failures=failures,
+    )
+
+    records = []
+    for scheme, rate, start, count in points:
+        chunk = results[start : start + count]
+        ok = [r for r in chunk if r is not None]
+        delivered = sum(r.stats.delivered for r in ok)
+        expected = sum(r.expected_deliveries for r in ok)
+        try:
+            pooled = pooled_latency(ok, failures)
+            mean_us = pooled.mean * 1e6
+            ci_us = pooled.ci_halfwidth * 1e6
+        except NoResultsError:
+            mean_us = ci_us = float("nan")
+        records.append(
+            {
+                "scheme": scheme,
+                "fault_rate": rate,
+                "delivery_ratio": delivered / expected if expected else float("nan"),
+                "mean_latency_us": mean_us,
+                "ci_halfwidth_us": ci_us,
+                "delivered": delivered,
+                "expected": expected,
+                "killed_worms": sum(r.stats.killed_worms for r in ok),
+                "retries": sum(r.stats.retries for r in ok),
+                "detoured": sum(r.stats.detoured for r in ok),
+                "replications_ok": len(ok),
+                "replications_failed": count - len(ok),
+            }
+        )
+
+    header = ("scheme", "rate", "delivery", "latency(us)", "killed", "retries", "detoured")
+    rows = [
+        (
+            r["scheme"],
+            f"{r['fault_rate']:g}",
+            f"{r['delivery_ratio']:.4f}",
+            f"{r['mean_latency_us']:.2f}",
+            str(r["killed_worms"]),
+            str(r["retries"]),
+            str(r["detoured"]),
+        )
+        for r in records
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    for failure in failures:
+        print(f"warning: {failure}", file=sys.stderr)
+
+    if args.output:
+        import json
+
+        payload = {
+            "topology": str(topology),
+            "schemes": schemes,
+            "fault_rates": rates,
+            "replications": args.replications,
+            "messages": args.messages,
+            "seed": args.seed,
+            "results": records,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_mixed(args) -> int:
     from .sim import SimConfig, run_mixed
 
@@ -180,6 +335,8 @@ def cmd_algorithms(args) -> int:
         filters["deadlock_free"] = True
     if args.simulable:
         filters["simulable"] = True
+    if args.fault_tolerant:
+        filters["fault_tolerant"] = True
     rows = [
         (
             spec.name + (f" (= {', '.join(spec.aliases)})" if spec.aliases else ""),
@@ -187,6 +344,9 @@ def cmd_algorithms(args) -> int:
             ", ".join(spec.topologies) if spec.topologies else "any",
             spec.worm_style or "-",
             "n/a" if spec.deadlock_free is None else ("yes" if spec.deadlock_free else "no"),
+            ("yes" if spec.fault_tolerant else "no")
+            if spec.kind == "dynamic-worm"
+            else "n/a",
             spec.reference,
         )
         for spec in registry.specs(**filters)
@@ -194,7 +354,7 @@ def cmd_algorithms(args) -> int:
     if not rows:
         print("no registered scheme matches the given filters", file=sys.stderr)
         return 1
-    header = ("scheme", "kind", "topologies", "worm", "deadlock-free", "reference")
+    header = ("scheme", "kind", "topologies", "worm", "deadlock-free", "fault-tolerant", "reference")
     widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
     print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
     print("  ".join("-" * w for w in widths))
@@ -256,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dest", action="append", required=True, help="repeatable")
     p.add_argument("--algorithm", choices=sorted(_route_choices()), default="dual-path")
     p.add_argument("--show", action="store_true", help="draw the pattern (2D meshes)")
+    p.add_argument("--fault", action="append", default=[],
+                   help="faulty directed channel SRC>DST to route around "
+                        "(repeatable; needs a fault-tolerant algorithm)")
     p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("simulate", help="dynamic latency study (Ch. 7)")
@@ -272,6 +435,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the replication sweep "
                         "(default: all cores; used when --replications > 1)")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("faults", help="fault-injection degradation study")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument("--schemes", default="dual-path,dual-path-adaptive,fixed-path",
+                   help="comma-separated scheme list (mix fault-tolerant "
+                        "and plain schemes to compare degradation)")
+    p.add_argument("--fault-rates", default="0,0.02,0.05,0.1",
+                   help="comma-separated link-fault rates (fraction of "
+                        "directed channels failing during the run)")
+    p.add_argument("--messages", type=int, default=500)
+    p.add_argument("--dests", type=int, default=10)
+    p.add_argument("--interarrival-us", type=float, default=300.0)
+    p.add_argument("--mtbf-us", type=float, default=0.0,
+                   help="mean time between failures (0 = one failure per "
+                        "faulty element, uniform over the run)")
+    p.add_argument("--mttr-us", type=float, default=0.0,
+                   help="mean time to repair (0 = permanent faults)")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="source-level retransmission budget per message")
+    p.add_argument("--replications", type=int, default=3)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-replication wall-clock limit in seconds")
+    p.add_argument("--job-retries", type=int, default=0,
+                   help="extra attempts for crashed/timed-out replications")
+    p.add_argument("--checkpoint", default=None,
+                   help="JSONL file to durably record finished replications")
+    p.add_argument("--resume", action="store_true",
+                   help="skip replications already in --checkpoint")
+    p.add_argument("--output", default=None, help="write the sweep as JSON")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mixed", help="unicast/multicast interaction study (§8.2)")
     p.add_argument("--topology", default="mesh:8x8")
@@ -298,6 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only schemes with a deadlock-freedom certificate")
     p.add_argument("--simulable", action="store_true",
                    help="only schemes the dynamic study can simulate")
+    p.add_argument("--fault-tolerant", action="store_true",
+                   help="only schemes with a fault-tolerant router")
     p.set_defaults(func=cmd_algorithms)
 
     p = sub.add_parser("labels", help="print a mesh labeling grid")
@@ -321,6 +518,12 @@ def main(argv=None) -> int:
         print("run `python -m repro algorithms` for the full catalogue",
               file=sys.stderr)
         return 2
+    except Unroutable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.channel is not None:
+            print(f"blocking channel: {exc.channel[0]!r} -> {exc.channel[1]!r}",
+                  file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # output piped into a pager/head that closed early
         import os

@@ -14,6 +14,30 @@ splitmix64-style mix of a base seed and the run index, so replication
 ``i`` of a sweep is reproducible regardless of how many workers ran it
 or in which order jobs completed.
 
+Robustness
+----------
+
+Long sweeps (the fault-degradation study runs hundreds of
+replications) need to survive slow points, crashing workers, and being
+killed outright, so :func:`run_sweep` also accepts:
+
+* ``timeout`` — per-job wall-clock limit; a job over budget is
+  terminated and recorded as failed (it never stalls the sweep);
+* ``retries`` — failed jobs (timeout or crash) are re-run up to this
+  many extra times before being declared failed;
+* ``on_error="record"`` — failures become ``None`` results plus
+  :class:`JobFailure` records instead of raising :class:`SweepError`;
+* ``checkpoint``/``resume`` — every completed result is appended to a
+  JSONL file (flushed and fsynced, so a ``kill -9`` loses at most the
+  in-flight jobs); ``resume=True`` reloads matching records and only
+  runs the jobs that are missing.
+
+Any of these options routes execution through a process-per-job
+supervisor (one ``fork`` per attempt, results over a per-job queue) —
+a worker crash, hang, or out-of-memory kill is isolated to its own
+job.  With none of them set the original low-overhead ``Pool.map``
+path runs unchanged.
+
 Usage::
 
     from repro.parallel import SweepJob, run_sweep
@@ -23,25 +47,35 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from math import sqrt
 from typing import Iterable, Sequence
 
 from .registry import get as get_spec
 from .sim.config import SimConfig
-from .sim.runner import DynamicResult, run_dynamic
-from .sim.stats import Summary
+from .sim.runner import DynamicResult, FaultResult, run_dynamic, run_resilient
+from .sim.stats import SimStats, Summary
 from .topology.base import Topology
 
 __all__ = [
+    "JobFailure",
+    "NoResultsError",
+    "SweepError",
     "SweepJob",
     "derive_seed",
     "replicate",
     "run_sweep",
     "pooled_latency",
 ]
+
+#: seconds a finished-looking worker gets to flush its result queue
+#: before being declared crashed
+_CRASH_GRACE = 0.25
 
 
 @dataclass(frozen=True)
@@ -50,11 +84,15 @@ class SweepJob:
 
     The scheme name is checked against :mod:`repro.registry` at
     construction, so a typo or a non-simulable scheme fails in the
-    driving process before any worker fans out."""
+    driving process before any worker fans out.  ``runner`` selects the
+    driver: ``"dynamic"`` (:func:`repro.sim.runner.run_dynamic`) or
+    ``"resilient"`` (:func:`repro.sim.runner.run_resilient`, fault
+    injection + retry)."""
 
     topology: Topology
     scheme: str
     config: SimConfig
+    runner: str = "dynamic"
 
     def __post_init__(self):
         spec = get_spec(self.scheme)  # raises UnknownSchemeError on typos
@@ -68,6 +106,47 @@ class SweepJob:
                 f"{spec.name} is not defined on {self.topology} "
                 f"(supported families: {', '.join(spec.topologies)})"
             )
+        if self.runner not in ("dynamic", "resilient"):
+            raise ValueError(
+                f"unknown runner {self.runner!r} (expected 'dynamic' or 'resilient')"
+            )
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Why one sweep job produced no result."""
+
+    index: int
+    job: SweepJob
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"job {self.index} ({self.job.scheme} on {self.job.topology}) "
+            f"failed after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+class SweepError(RuntimeError):
+    """One or more sweep jobs failed (``on_error="raise"``).
+
+    ``failures`` holds a :class:`JobFailure` per failed job."""
+
+    def __init__(self, failures: Sequence[JobFailure]):
+        self.failures = tuple(failures)
+        lines = "\n  ".join(str(f) for f in self.failures)
+        super().__init__(f"{len(self.failures)} sweep job(s) failed:\n  {lines}")
+
+
+class NoResultsError(ValueError):
+    """Every replication of a sweep point failed, so there is nothing
+    to pool.  ``failures`` carries the per-job failure records (empty
+    when the caller didn't collect any)."""
+
+    def __init__(self, message: str, failures: Sequence[JobFailure] = ()):
+        super().__init__(message)
+        self.failures = tuple(failures)
 
 
 def derive_seed(base_seed: int, run_index: int) -> int:
@@ -89,7 +168,7 @@ def replicate(config, num_runs: int):
     from the config's seed."""
     if isinstance(config, SweepJob):
         return [
-            SweepJob(config.topology, config.scheme, c)
+            SweepJob(config.topology, config.scheme, c, config.runner)
             for c in replicate(config.config, num_runs)
         ]
     return [
@@ -104,31 +183,322 @@ def _normalize(job) -> SweepJob:
     return SweepJob(topology, scheme, config)
 
 
-def _run_job(job: SweepJob) -> DynamicResult:
+def _run_job(job: SweepJob):
+    if job.runner == "resilient":
+        return run_resilient(job.topology, job.scheme, job.config)
     return run_dynamic(job.topology, job.scheme, job.config)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint (de)serialization.  Results are plain dataclasses of
+# floats/ints, so JSONL keeps checkpoints human-inspectable and immune
+# to pickle-versioning; every record carries a hash of its job so a
+# resume against different jobs skips nothing it shouldn't.
+# ----------------------------------------------------------------------
+
+
+def _job_key(job: SweepJob) -> str:
+    """A stable fingerprint of everything that determines a job's
+    result (topology identity, scheme, runner, full config)."""
+    from dataclasses import asdict
+
+    payload = json.dumps(
+        [repr(job.topology), job.scheme, job.runner, asdict(job.config)],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _summary_to_json(s: Summary) -> dict:
+    return {
+        "mean": s.mean,
+        "ci_halfwidth": s.ci_halfwidth,
+        "num_observations": s.num_observations,
+        "num_batches": s.num_batches,
+    }
+
+
+def _result_to_json(result) -> dict:
+    if isinstance(result, FaultResult):
+        return {
+            "type": "fault",
+            "latency": _summary_to_json(result.latency),
+            "injected_messages": result.injected_messages,
+            "deliveries": result.deliveries,
+            "sim_time": result.sim_time,
+            "worms": result.worms,
+            "stats": result.stats.to_dict(),
+            "expected_deliveries": result.expected_deliveries,
+        }
+    if isinstance(result, DynamicResult):
+        return {
+            "type": "dynamic",
+            "latency": _summary_to_json(result.latency),
+            "injected_messages": result.injected_messages,
+            "deliveries": result.deliveries,
+            "sim_time": result.sim_time,
+            "worms": result.worms,
+        }
+    raise TypeError(f"cannot checkpoint result of type {type(result).__name__}")
+
+
+def _result_from_json(data: dict):
+    latency = Summary(**data["latency"])
+    if data["type"] == "fault":
+        return FaultResult(
+            latency=latency,
+            injected_messages=data["injected_messages"],
+            deliveries=data["deliveries"],
+            sim_time=data["sim_time"],
+            worms=data["worms"],
+            stats=SimStats.from_dict(data["stats"]),
+            expected_deliveries=data["expected_deliveries"],
+        )
+    if data["type"] == "dynamic":
+        return DynamicResult(
+            latency=latency,
+            injected_messages=data["injected_messages"],
+            deliveries=data["deliveries"],
+            sim_time=data["sim_time"],
+            worms=data["worms"],
+        )
+    raise ValueError(f"unknown checkpoint result type {data['type']!r}")
+
+
+def _load_checkpoint(path: str, jobs: Sequence[SweepJob]) -> dict:
+    """Results recorded for *these* jobs in a previous (possibly
+    killed) sweep.  Unparseable or truncated trailing lines — the
+    signature of a crash mid-write — are ignored, as are records whose
+    job fingerprint doesn't match."""
+    done: dict[int, object] = {}
+    if not os.path.exists(path):
+        return done
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                index = record["index"]
+                if not isinstance(index, int):
+                    continue
+                if 0 <= index < len(jobs) and record["key"] == _job_key(jobs[index]):
+                    done[index] = _result_from_json(record["result"])
+            except (ValueError, KeyError, TypeError):
+                continue
+    return done
+
+
+def _append_checkpoint(fh, index: int, job: SweepJob, result) -> None:
+    fh.write(
+        json.dumps(
+            {"index": index, "key": _job_key(job), "result": _result_to_json(result)}
+        )
+        + "\n"
+    )
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+# ----------------------------------------------------------------------
+# Execution.
+# ----------------------------------------------------------------------
 
 
 def run_sweep(
     jobs: Iterable,
     workers: int | None = None,
-) -> list[DynamicResult]:
+    *,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    on_error: str = "raise",
+    failures: list | None = None,
+) -> list:
     """Run every job (a :class:`SweepJob` or ``(topology, scheme,
-    config)`` tuple) and return its :class:`DynamicResult`, in job
-    order.
+    config)`` tuple) and return its result, in job order.
 
     ``workers`` defaults to ``os.cpu_count()``; ``workers <= 1`` (or a
     single job) runs serially in-process.  Parallel execution is
     bit-for-bit identical to serial execution: every simulation is
     seeded by its own config and shares no state with its siblings.
+
+    Robustness options (any of them engages the supervised
+    process-per-job path, see the module docstring):
+
+    ``timeout``
+        per-job wall-clock budget in seconds; over-budget jobs are
+        terminated and treated as failed attempts.
+    ``retries``
+        extra attempts granted to a failed (timed-out or crashed) job.
+    ``checkpoint`` / ``resume``
+        JSONL file completed results are durably appended to; with
+        ``resume=True`` previously recorded results for identical jobs
+        are reused instead of re-run.
+    ``on_error``
+        ``"raise"`` (default): any job still failing after its retries
+        raises :class:`SweepError` once the sweep finishes (completed
+        work is still checkpointed).  ``"record"``: failed jobs yield
+        ``None`` results and a :class:`JobFailure` appended to
+        ``failures``.
+    ``failures``
+        optional list collecting :class:`JobFailure` records under
+        either ``on_error`` policy.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"unknown on_error policy {on_error!r}")
     jobs = [_normalize(j) for j in jobs]
     if workers is None:
         workers = os.cpu_count() or 1
-    if workers <= 1 or len(jobs) <= 1:
-        return [_run_job(j) for j in jobs]
+    supervised = (
+        timeout is not None or retries > 0 or checkpoint is not None or resume
+    )
+    if not supervised:
+        if workers <= 1 or len(jobs) <= 1:
+            return [_run_job(j) for j in jobs]
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            return pool.map(_run_job, jobs, chunksize=1)
+    return _run_supervised(
+        jobs,
+        workers=max(1, workers),
+        timeout=timeout,
+        retries=max(0, retries),
+        checkpoint=checkpoint,
+        resume=resume,
+        on_error=on_error,
+        failures=failures,
+    )
+
+
+def _job_worker(job: SweepJob, queue) -> None:
+    """Subprocess entry: run one job, ship the outcome over the queue.
+
+    Every failure mode that still lets Python run is reported as a
+    ``(False, message)`` payload; a hard death (segfault, OOM kill,
+    timeout termination) is detected by the supervisor instead."""
+    try:
+        result = _run_job(job)
+        payload = (True, result)
+    except BaseException as exc:  # noqa: BLE001 - isolate *any* worker failure
+        payload = (False, f"{type(exc).__name__}: {exc}")
+    try:
+        queue.put(payload)
+    except Exception:
+        pass  # queue gone: the supervisor records a crash
+
+
+def _run_supervised(
+    jobs: Sequence[SweepJob],
+    *,
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    checkpoint: str | None,
+    resume: bool,
+    on_error: str,
+    failures: list | None,
+) -> list:
     ctx = _pool_context()
-    with ctx.Pool(processes=min(workers, len(jobs))) as pool:
-        return pool.map(_run_job, jobs, chunksize=1)
+    results: dict[int, object] = {}
+    failed: dict[int, JobFailure] = {}
+
+    if checkpoint is not None and resume:
+        results.update(_load_checkpoint(checkpoint, jobs))
+
+    ckpt_fh = open(checkpoint, "a", encoding="utf-8") if checkpoint else None
+    pending: list[tuple[int, int]] = [
+        (i, 0) for i in range(len(jobs)) if i not in results
+    ]
+    pending.reverse()  # pop() from the end yields jobs in order
+    running: dict[int, tuple] = {}  # index -> (process, queue, deadline, attempt)
+
+    def record_failure(index: int, attempt: int, error: str) -> None:
+        if attempt < retries:
+            pending.append((index, attempt + 1))
+            return
+        failure = JobFailure(index, jobs[index], error, attempt + 1)
+        failed[index] = failure
+        if failures is not None:
+            failures.append(failure)
+
+    def finish(index: int, attempt: int, entry, outcome) -> None:
+        process = entry[0]
+        process.join()
+        entry[1].close()
+        ok, payload = outcome
+        if ok:
+            results[index] = payload
+            if ckpt_fh is not None:
+                _append_checkpoint(ckpt_fh, index, jobs[index], payload)
+        else:
+            record_failure(index, attempt, payload)
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                index, attempt = pending.pop()
+                queue = ctx.SimpleQueue()
+                process = ctx.Process(
+                    target=_job_worker, args=(jobs[index], queue), daemon=True
+                )
+                process.start()
+                deadline = time.monotonic() + timeout if timeout is not None else None
+                running[index] = (process, queue, deadline, attempt)
+
+            progressed = False
+            for index, entry in list(running.items()):
+                process, queue, deadline, attempt = entry
+                if not queue.empty():
+                    del running[index]
+                    finish(index, attempt, entry, queue.get())
+                    progressed = True
+                elif deadline is not None and time.monotonic() > deadline:
+                    process.terminate()
+                    process.join()
+                    queue.close()
+                    del running[index]
+                    record_failure(
+                        index, attempt, f"timed out after {timeout:g}s"
+                    )
+                    progressed = True
+                elif not process.is_alive():
+                    # dead without a visible result: give the queue
+                    # feeder a grace period, then declare a crash
+                    grace_end = time.monotonic() + _CRASH_GRACE
+                    outcome = None
+                    while time.monotonic() < grace_end:
+                        if not queue.empty():
+                            outcome = queue.get()
+                            break
+                        time.sleep(0.005)
+                    del running[index]
+                    if outcome is not None:
+                        finish(index, attempt, entry, outcome)
+                    else:
+                        process.join()
+                        queue.close()
+                        record_failure(
+                            index,
+                            attempt,
+                            f"worker died (exit code {process.exitcode})",
+                        )
+                    progressed = True
+            if not progressed and running:
+                time.sleep(0.01)
+    finally:
+        for process, queue, _, _ in running.values():
+            process.terminate()
+            process.join()
+            queue.close()
+        if ckpt_fh is not None:
+            ckpt_fh.close()
+
+    if failed and on_error == "raise":
+        raise SweepError([failed[i] for i in sorted(failed)])
+    return [results.get(i) for i in range(len(jobs))]
 
 
 def _pool_context():
@@ -139,7 +509,10 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
-def pooled_latency(results: Sequence[DynamicResult]) -> Summary:
+def pooled_latency(
+    results: Sequence,
+    failures: Sequence[JobFailure] = (),
+) -> Summary:
     """Pool the latency estimates of independent replications.
 
     The pooled mean weights each replication by its observation count;
@@ -148,13 +521,22 @@ def pooled_latency(results: Sequence[DynamicResult]) -> Summary:
     halfwidths).  This is the standard independent-replications
     estimator (Law & Kelton) the dissertation's §7.2 methodology uses
     across CSIM runs.
+
+    ``None`` entries (failed jobs from ``run_sweep(...,
+    on_error="record")``) are skipped; if nothing remains a
+    :class:`NoResultsError` is raised carrying ``failures`` so callers
+    can report *why* the point is empty.
     """
+    results = [r for r in results if r is not None]
     if not results:
-        raise ValueError("no results to pool")
+        raise NoResultsError("no results to pool", failures)
     weights = [r.latency.num_observations for r in results]
     total = sum(weights)
     if total == 0:
-        raise ValueError("no observations to pool")
+        raise NoResultsError(
+            "no observations to pool (all replications delivered nothing)",
+            failures,
+        )
     mean = sum(w * r.latency.mean for w, r in zip(weights, results)) / total
     halfwidth = (
         sqrt(sum((w * r.latency.ci_halfwidth) ** 2 for w, r in zip(weights, results)))

@@ -19,7 +19,12 @@ capabilities:
   router selects an adapter by style, never by scheme name);
 * ``deadlock_free`` + ``cdg_certificate`` — the Chapter 6 claim and a
   hook producing the conservative channel-dependency graph whose
-  acyclicity certifies it (Dally & Seitz).
+  acyclicity certifies it (Dally & Seitz);
+* ``fault_tolerant`` + :func:`register_fault_router` — the §8.2 claim
+  that the scheme can detour around faulty channels, certified by a
+  registered fault router ``fn(request, faulty, labeling) -> route``
+  (the fault conformance suite routes every fault-tolerant scheme
+  around sampled faults and checks the detours).
 
 Consumers — the CLI, ``repro.experiments``, ``repro.parallel``, the
 simulator's :class:`Router`, the benchmarks — resolve schemes by name
@@ -51,6 +56,7 @@ __all__ = [
     "names",
     "register",
     "register_family",
+    "register_fault_router",
     "register_spec",
     "scheme_table_markdown",
     "specs",
@@ -165,6 +171,21 @@ class AlgorithmSpec:
         """Whether the dynamic simulator can inject worms for the spec."""
         return self.worm_style is not None
 
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether the scheme declares a fault router — the §8.2
+        claim that it can detour around faulty channels."""
+        return self.name in _FAULT_ROUTERS
+
+    def fault_route(self, request, faulty, labeling=None):
+        """Route ``request`` around the ``faulty`` directed channels
+        with the scheme's registered fault router (raises if the spec
+        declares none; raises ``Unroutable`` when no detour exists)."""
+        fn = _FAULT_ROUTERS.get(self.name)
+        if fn is None:
+            raise ValueError(f"{self.name} declares no fault router")
+        return fn(request, faulty, labeling)
+
     def supports(self, topology) -> bool:
         """Whether ``topology`` belongs to a declared family."""
         return not self.topologies or topology_family(topology) in self.topologies
@@ -205,6 +226,7 @@ _SPECS: dict[str, AlgorithmSpec] = {}
 _ALIASES: dict[str, str] = {}
 _FAMILIES: dict[str, AlgorithmFamily] = {}
 _RESOLVED: dict[str, AlgorithmSpec] = {}  # memoized family instances
+_FAULT_ROUTERS: dict[str, Callable] = {}  # canonical name -> fault router
 _LOADED = False
 
 
@@ -248,6 +270,24 @@ def register(name: str, **capabilities):
         return fn
 
     return decorate
+
+
+def register_fault_router(name: str, fn: Callable) -> Callable:
+    """Declare scheme ``name`` fault-tolerant by registering its detour
+    router ``fn(request, faulty, labeling) -> route``.
+
+    The router is the conformance hook behind the spec's
+    ``fault_tolerant`` flag (like ``cdg_certificate`` is behind
+    ``deadlock_free``): it must produce a valid route that uses none of
+    the ``faulty`` directed channels, raising
+    :class:`repro.wormhole.fault_tolerance.Unroutable` when no detour
+    exists.  ``name`` must be a canonical scheme name (aliases resolve
+    through their canonical spec).
+    """
+    if name in _FAULT_ROUTERS:
+        raise ValueError(f"fault router for {name!r} is already registered")
+    _FAULT_ROUTERS[name] = fn
+    return fn
 
 
 def register_family(prefix: str, parse: Callable, **capabilities):
@@ -307,6 +347,7 @@ def specs(
     routable: bool | None = None,
     simulable: bool | None = None,
     worm_style: str | None = None,
+    fault_tolerant: bool | None = None,
     include_families: bool = True,
 ) -> list:
     """The registered specs matching every given capability filter,
@@ -329,6 +370,8 @@ def specs(
         out = [s for s in out if s.simulable == simulable]
     if worm_style is not None:
         out = [s for s in out if s.worm_style == worm_style]
+    if fault_tolerant is not None:
+        out = [s for s in out if s.fault_tolerant == fault_tolerant]
     return sorted(out, key=lambda s: s.name)
 
 
@@ -364,7 +407,8 @@ def _flag(value: bool | None) -> str:
 
 def scheme_table_rows() -> list:
     """One row per registered scheme (families as their display name):
-    ``(name+aliases, kind, topologies, deadlock-free, reference)``."""
+    ``(name+aliases, kind, topologies, deadlock-free, fault-tolerant,
+    reference)``."""
     rows = []
     for spec in specs():
         name = spec.name
@@ -374,7 +418,8 @@ def scheme_table_rows() -> list:
         deadlock = _flag(spec.deadlock_free)
         if spec.deadlock_free and spec.min_channels > 1:
             deadlock += f" ({spec.min_channels}x channels)"
-        rows.append((name, spec.kind, topologies, deadlock, spec.reference))
+        fault = _flag(spec.fault_tolerant if spec.kind == "dynamic-worm" else None)
+        rows.append((name, spec.kind, topologies, deadlock, fault, spec.reference))
     return rows
 
 
@@ -382,9 +427,11 @@ def scheme_table_markdown() -> str:
     """The registry as a GitHub-flavored markdown table (embedded in
     README.md; a conformance test keeps the two in sync)."""
     lines = [
-        "| scheme | kind | topologies | deadlock-free | reference |",
-        "|---|---|---|---|---|",
+        "| scheme | kind | topologies | deadlock-free | fault-tolerant | reference |",
+        "|---|---|---|---|---|---|",
     ]
-    for name, kind, topologies, deadlock, reference in scheme_table_rows():
-        lines.append(f"| `{name}` | {kind} | {topologies} | {deadlock} | {reference} |")
+    for name, kind, topologies, deadlock, fault, reference in scheme_table_rows():
+        lines.append(
+            f"| `{name}` | {kind} | {topologies} | {deadlock} | {fault} | {reference} |"
+        )
     return "\n".join(lines)

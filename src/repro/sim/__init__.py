@@ -17,20 +17,29 @@ from .network import (
     WormholeNetwork,
 )
 from .circuit import CircuitMessage, inject_circuit_path
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultState,
+    FaultyWormholeNetwork,
+    derive_fault_seed,
+)
 from .saf import SAFNetwork
 from .vct import VCTWorm, inject_vct_path
 from .runner import (
     DeadlockDetected,
+    FaultResult,
     MixedResult,
     inject_specs,
     run_mixed,
+    run_resilient,
     run_until_confident,
     DynamicResult,
     ScenarioResult,
     run_dynamic,
     run_static_scenario,
 )
-from .stats import Summary, batch_means, t975
+from .stats import SimStats, Summary, batch_means, t975
 from .traffic import AdaptiveSpec, PathSpec, Router, TreeSpec, VCTTreeSpec
 from .vct_tree import VCTTreeMulticast, inject_vct_tree, tree_chains
 
@@ -43,6 +52,11 @@ __all__ = [
     "Delivery",
     "DynamicResult",
     "Environment",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultResult",
+    "FaultState",
+    "FaultyWormholeNetwork",
     "LegacyEnvironment",
     "MixedResult",
     "Event",
@@ -53,6 +67,7 @@ __all__ = [
     "Router",
     "ScenarioResult",
     "SimConfig",
+    "SimStats",
     "Summary",
     "Timeout",
     "TreeSpec",
@@ -67,8 +82,10 @@ __all__ = [
     "inject_vct_path",
     "inject_vct_tree",
     "tree_chains",
+    "derive_fault_seed",
     "run_dynamic",
     "run_mixed",
+    "run_resilient",
     "run_until_confident",
     "run_static_scenario",
     "t975",

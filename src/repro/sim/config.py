@@ -42,6 +42,41 @@ class SimConfig:
     #: RNG seed
     seed: int = 1
 
+    # ------------------------------------------------------------------
+    # Fault injection (repro.sim.faults).  All zero by default: the
+    # fault-aware simulator with these defaults is event-for-event
+    # identical to the fault-free one (the parity suite asserts it).
+    # ------------------------------------------------------------------
+
+    #: fraction of directed channels that fail during the run
+    link_fault_rate: float = 0.0
+    #: fraction of nodes that fail during the run
+    node_fault_rate: float = 0.0
+    #: mean time between failures of a faulty element, in seconds;
+    #: 0 = each faulty element fails once, uniformly over the window
+    fault_mtbf: float = 0.0
+    #: mean time to repair, in seconds; 0 = faults are permanent
+    fault_mttr: float = 0.0
+    #: time window faults are sampled over; ``None`` = the expected
+    #: injection span (num_messages x interarrival / nodes)
+    fault_window: float | None = None
+    #: RNG seed of the fault schedule; ``None`` derives one from
+    #: ``seed`` (independent of the traffic RNG either way)
+    fault_seed: int | None = None
+
+    #: source-level retry budget for dropped multicasts
+    max_retries: int = 3
+    #: delay before the first retransmission, in seconds
+    retry_timeout: float = 200e-6
+    #: multiplier applied to the retry delay per attempt (exponential
+    #: backoff)
+    retry_backoff: float = 2.0
+
+    @property
+    def faulty(self) -> bool:
+        """Whether any fault injection is configured."""
+        return self.link_fault_rate > 0 or self.node_fault_rate > 0
+
     @property
     def flits_per_message(self) -> int:
         return max(1, math.ceil(self.message_bytes / self.flit_bytes))

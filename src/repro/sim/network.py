@@ -70,9 +70,20 @@ class Delivery:
 
 
 class WormholeNetwork:
-    """The shared channel state plus bookkeeping for worms in flight."""
+    """The shared channel state plus bookkeeping for worms in flight.
+
+    The worm classes are class attributes (bound after their
+    definitions below) so a subclass can substitute fault-aware worms
+    without re-implementing the injection methods —
+    :class:`repro.sim.faults.FaultyWormholeNetwork` does exactly that.
+    """
 
     __slots__ = ("env", "config", "channels", "active_worms", "total_worms", "deliveries", "_blocked")
+
+    #: worm classes used by the inject_* methods (overridable).
+    path_worm_cls: type
+    adaptive_worm_cls: type
+    tree_worm_cls: type
 
     def __init__(self, env: Environment, config: SimConfig):
         self.env = env
@@ -132,7 +143,7 @@ class WormholeNetwork:
             if ch is None:
                 ch = channels[key] = Channel(key, cap)
             chans.append(ch)
-        worm = PathWorm(self, message_id, list(nodes), chans, destinations)
+        worm = self.path_worm_cls(self, message_id, list(nodes), chans, destinations)
         if flits is not None:
             worm.flits = flits
         self.active_worms += 1
@@ -155,7 +166,7 @@ class WormholeNetwork:
         minimal-adaptive extension).  ``destinations`` must be
         label-sorted in travel order (as produced by
         ``split_high_low``)."""
-        worm = AdaptivePathWorm(
+        worm = self.adaptive_worm_cls(
             self, message_id, source, list(destinations), labeling, channel_key, capacity
         )
         self.active_worms += 1
@@ -179,7 +190,7 @@ class WormholeNetwork:
             for level in levels
         ]
         head_levels = [[arc[1] for arc in level] for level in levels]
-        worm = TreeWorm(self, message_id, chan_levels, head_levels)
+        worm = self.tree_worm_cls(self, message_id, chan_levels, head_levels)
         if flits is not None:
             worm.flits = flits
         self.active_worms += 1
@@ -430,3 +441,8 @@ class TreeWorm:
 
     def _finished(self) -> None:
         self.net.finish(self)
+
+
+WormholeNetwork.path_worm_cls = PathWorm
+WormholeNetwork.adaptive_worm_cls = AdaptivePathWorm
+WormholeNetwork.tree_worm_cls = TreeWorm

@@ -18,10 +18,12 @@ from dataclasses import dataclass
 
 from ..models.request import MulticastRequest
 from ..topology.base import Topology
+from ..wormhole.fault_tolerance import Unroutable
 from .config import SimConfig
-from .kernel import Environment
+from .faults import FaultPlan, FaultState, FaultyWormholeNetwork
+from .kernel import Environment, Timeout
 from .network import WormholeNetwork
-from .stats import Summary, batch_means
+from .stats import SimStats, Summary, batch_means
 from .traffic import AdaptiveSpec, PathSpec, Router, TreeSpec, VCTTreeSpec
 
 
@@ -177,6 +179,190 @@ def run_dynamic(
         deliveries=len(net.deliveries),
         sim_time=env.now,
         worms=net.total_worms,
+    )
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """Outcome of one fault-injected (resilient) dynamic run.
+
+    ``latency`` summarises only the post-warmup *delivered*
+    destinations; ``stats`` carries the delivery/fault counters and
+    ``expected_deliveries`` the total requested (message, destination)
+    pairs, so ``delivery_ratio`` is the headline degradation metric.
+    """
+
+    latency: Summary
+    injected_messages: int
+    deliveries: int
+    sim_time: float
+    worms: int
+    stats: SimStats
+    expected_deliveries: int
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.stats.delivery_ratio
+
+
+def run_resilient(
+    topology: Topology,
+    scheme: str,
+    config: SimConfig,
+    plan: FaultPlan | None = None,
+    env_factory=Environment,
+) -> FaultResult:
+    """:func:`run_dynamic` under fault injection with resilient
+    delivery.
+
+    Link/node faults from ``plan`` (default: sampled from the config's
+    fault parameters) fire on the calendar while traffic runs.  Worms
+    hitting a fault are killed; each killed or unroutable multicast is
+    retransmitted from its source after an exponential-backoff timeout
+    (``config.retry_timeout`` x ``retry_backoff``^attempt, at most
+    ``max_retries`` times), re-addressed to the destinations still
+    missing.  Fault-tolerant schemes additionally detour around the
+    currently-down channels, both at the source (static reroute) and —
+    for the adaptive scheme — per hop at simulation time.
+
+    The injection loop duplicates :func:`run_dynamic`'s RNG draw order
+    exactly and the fault schedule uses an independent RNG, so with
+    zero fault rates the result matches :func:`run_dynamic` event for
+    event (the parity suite asserts this).
+    """
+    env = env_factory()
+    stats = SimStats()
+    if plan is None:
+        plan = FaultPlan.from_config(topology, config)
+    fault_state = FaultState(plan)
+    net = FaultyWormholeNetwork(env, config, fault_state, stats)
+    rng = random.Random(config.seed)
+    router = Router(
+        topology,
+        scheme,
+        channels_per_link=config.channels_per_link,
+        fault_state=fault_state,
+    )
+    fault_state.install(net)
+    nodes = list(topology.nodes())
+    n = len(nodes)
+    state = {"injected": 0}
+    path_capacity = config.channels_per_link
+
+    randrange = rng.randrange
+    expovariate = rng.expovariate
+    arrival_rate = 1.0 / config.mean_interarrival
+    num_messages = config.num_messages
+    k = config.num_destinations
+    index_map = topology.index_map()
+    schedule = env.schedule
+
+    # per-message delivery obligations and retry bookkeeping
+    expected: dict[int, frozenset] = {}
+    sources: dict = {}
+    origins: dict = {}
+    attempts: dict = {}
+    pending_retry: set = set()
+
+    def draw_destinations(source):
+        chosen: set = set()
+        src_i = index_map[source]
+        while len(chosen) < k:
+            i = randrange(n)
+            if i != src_i:
+                chosen.add(i)
+        return tuple(nodes[i] for i in sorted(chosen))
+
+    def handle_drop(message_id, dropped, reason):
+        # coalesce: dual-path injects two worms per message, and both
+        # may die — one pending retransmission per message at a time
+        if message_id in pending_retry:
+            return
+        used = attempts.get(message_id, 0)
+        if used >= config.max_retries:
+            return
+        attempts[message_id] = used + 1
+        pending_retry.add(message_id)
+        delay = config.retry_timeout * (config.retry_backoff ** used)
+        Timeout(env, delay).wait(lambda ev, mid=message_id: retry(mid))
+
+    def retry(message_id):
+        pending_retry.discard(message_id)
+        remaining = expected[message_id] - net.delivered_by_message.get(
+            message_id, set()
+        )
+        if not remaining:
+            return
+        source = sources[message_id]
+        if fault_state.node_down(source):
+            # the source itself is down; burn the attempt and re-arm
+            handle_drop(message_id, remaining, "source node down")
+            return
+        stats.retries += 1
+        request = MulticastRequest.trusted(
+            topology,
+            source,
+            tuple(sorted(remaining, key=index_map.__getitem__)),
+        )
+        net.origin_time = origins[message_id]
+        try:
+            inject_specs(net, message_id, router(request), path_capacity, router)
+        except Unroutable:
+            stats.injection_failures += 1
+            handle_drop(message_id, remaining, "unroutable")
+        finally:
+            net.origin_time = None
+
+    net.drop_handler = handle_drop
+
+    def inject_from(node):
+        if state["injected"] >= num_messages:
+            return
+        state["injected"] += 1
+        mid = state["injected"]
+        request = MulticastRequest.trusted(topology, node, draw_destinations(node))
+        expected[mid] = frozenset(request.destinations)
+        sources[mid] = node
+        origins[mid] = env.now
+        if fault_state.node_down(node):
+            stats.injection_failures += 1
+            handle_drop(mid, expected[mid], "source node down")
+        else:
+            try:
+                inject_specs(net, mid, router(request), path_capacity, router)
+            except Unroutable:
+                stats.injection_failures += 1
+                handle_drop(mid, expected[mid], "unroutable")
+        schedule(expovariate(arrival_rate), inject_from, node)
+
+    for node in nodes:
+        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+
+    completed = net.run_to_completion()
+    if not completed:
+        raise DeadlockDetected(
+            f"{net.active_worms} worms blocked with an empty event calendar"
+        )
+
+    cutoff = config.num_messages * config.warmup_fraction
+    latencies = [d.latency for d in net.deliveries if d.message_id > cutoff]
+    total_expected = sum(len(dests) for dests in expected.values())
+    # delivered was counted per unique (message, destination) pair;
+    # whatever the retry budget never reached is dropped.
+    stats.dropped = total_expected - stats.delivered
+    empty = Summary(float("nan"), float("inf"), 0, 0)
+    return FaultResult(
+        latency=batch_means(latencies) if latencies else empty,
+        injected_messages=state["injected"],
+        deliveries=len(net.deliveries),
+        sim_time=env.now,
+        worms=net.total_worms,
+        stats=stats,
+        expected_deliveries=total_expected,
     )
 
 

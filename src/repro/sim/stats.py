@@ -47,6 +47,44 @@ class Summary:
         return f"{self.mean:.6g} +/- {self.ci_halfwidth:.2g} (n={self.num_observations})"
 
 
+@dataclass
+class SimStats:
+    """Mutable delivery/fault counters of one fault-aware run.
+
+    ``delivered``/``dropped`` count unique ``(message, destination)``
+    pairs — a destination reached on a retry counts delivered once;
+    one never reached within the retry budget counts dropped once.
+    ``detoured`` counts adaptive hops that avoided a faulted candidate
+    channel at simulation time.
+    """
+
+    delivered: int = 0
+    dropped: int = 0
+    detoured: int = 0
+    killed_worms: int = 0
+    retries: int = 0
+    injection_failures: int = 0
+    link_fault_events: int = 0
+    node_fault_events: int = 0
+    repair_events: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of all requested (message, destination)
+        pairs; 1.0 for an empty run."""
+        total = self.delivered + self.dropped
+        return self.delivered / total if total else 1.0
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        return cls(**data)
+
+
 def batch_means(values: Sequence[float], num_batches: int = 10) -> Summary:
     """Batch-means estimate of the mean with a 95% CI.
 

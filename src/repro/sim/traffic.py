@@ -121,6 +121,23 @@ def _star_worms(router: "Router", request: MulticastRequest) -> list:
     # validation is redundant there (the algorithms are deterministic
     # and statically tested), so it is skipped unless the router was
     # built with validate=True.
+    fault_state = router.fault_state
+    if fault_state is not None and router.spec.fault_tolerant:
+        blocked = fault_state.blocked_links(router.topology)
+        if blocked:
+            from ..wormhole.fault_tolerance import Unroutable
+
+            # source routing sees the network's current fault state and
+            # detours around it; when no monotone detour exists the
+            # message is sent best-effort on the plain route (it
+            # delivers what it can before dying, and the resilient
+            # driver's retry picks up the remainder)
+            try:
+                star = router.spec.fault_route(request, blocked, router.labeling)
+            except Unroutable:
+                pass
+            else:
+                return _star_to_specs(star)
     star = router.spec.fn(request, router.labeling, validate=router.validate)
     return _star_to_specs(star)
 
@@ -208,7 +225,11 @@ class Router:
     ``channels_per_link`` mirrors the simulated network's channel
     multiplicity; the X-first tree uses it to pick between the
     double-channel quadrant subnetworks and the plain single-channel
-    tree (one spec, both deployments).
+    tree (one spec, both deployments).  ``fault_state`` (a
+    :class:`repro.sim.faults.FaultState`) makes fault-tolerant schemes
+    route each message around the *currently* blocked channels; schemes
+    without the ``fault_tolerant`` capability ignore it (their worms
+    simply die on faults).
     """
 
     # Pre-registry scheme groupings, kept for compatibility and derived
@@ -226,6 +247,7 @@ class Router:
         labeling=None,
         validate: bool = False,
         channels_per_link: int = 1,
+        fault_state=None,
     ):
         spec = get_spec(scheme)
         if not spec.simulable:
@@ -239,6 +261,7 @@ class Router:
         self.validate = validate
         self.channels_per_link = channels_per_link
         self.num_planes = spec.params.get("planes", 0)
+        self.fault_state = fault_state
         if labeling is None and spec.requires_labeling:
             labeling = canonical_labeling(topology)
         self.labeling = labeling

@@ -19,12 +19,25 @@ from ..labeling import canonical_labeling
 from ..labeling.base import Labeling
 from ..models.request import MulticastRequest
 from ..models.results import MulticastStar
+from ..registry import register_fault_router
 from ..topology.base import Node
 from .star_routing import split_high_low
 
 
 class Unroutable(RuntimeError):
-    """No label-monotone route avoids the faulty channels."""
+    """No label-monotone route avoids the faulty channels.
+
+    ``channel`` is the directed channel R would have taken had it not
+    been faulty (the blocking channel); ``node`` / ``target`` locate
+    the hop where every admissible candidate was faulty.  All three are
+    ``None`` for the non-convergence variant.
+    """
+
+    def __init__(self, message: str, channel=None, node=None, target=None):
+        super().__init__(message)
+        self.channel = channel
+        self.node = node
+        self.target = target
 
 
 def fault_tolerant_path(
@@ -49,9 +62,8 @@ def fault_tolerant_path(
         if w == queue[0]:
             queue.pop(0)
             continue
-        usable = [
-            p for p in labeling.route_candidates(w, queue[0]) if (w, p) not in bad
-        ]
+        candidates = labeling.route_candidates(w, queue[0])
+        usable = [p for p in candidates if (w, p) not in bad]
         if not usable:
             # last resort: any label-monotone bounded neighbor makes
             # progress (possibly off the shortest path)
@@ -62,7 +74,11 @@ def fault_tolerant_path(
             ]
         if not usable:
             raise Unroutable(
-                f"all monotone channels out of {w!r} toward {queue[0]!r} are faulty"
+                f"all monotone channels out of {w!r} toward {queue[0]!r} are "
+                f"faulty (blocking channel {(w, candidates[0])!r})",
+                channel=(w, candidates[0]),
+                node=w,
+                target=queue[0],
             )
         w = usable[0]
         path.append(w)
@@ -93,6 +109,14 @@ def fault_tolerant_dual_path(
     star = MulticastStar(request.topology, request.source, tuple(paths), tuple(partition))
     star.validate(request)
     return star
+
+
+# The fault-tolerance conformance hooks (cf. ``cdg_certificate``): the
+# dual-path star detour serves both the static dual-path scheme and its
+# minimal-adaptive variant, whose per-hop simulation-time avoidance is
+# a superset of this static detour.
+register_fault_router("dual-path", fault_tolerant_dual_path)
+register_fault_router("dual-path-adaptive", fault_tolerant_dual_path)
 
 
 def routability(

@@ -1,0 +1,158 @@
+"""Property-based tests for :mod:`repro.wormhole.fault_tolerance`.
+
+Invariants under arbitrary fault sets on canonical mesh labelings:
+
+* a detoured route never crosses a faulty channel and stays
+  label-monotone toward its current target (deadlock freedom is a
+  structural property of the path, not of luck);
+* :class:`Unroutable` fires *exactly* when every admissible candidate
+  at some hop is faulty — never spuriously;
+* with no faults the detour router reduces to the plain R-walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import canonical_labeling
+from repro.models import MulticastRequest
+from repro.topology import Mesh2D
+from repro.wormhole.fault_tolerance import (
+    Unroutable,
+    fault_tolerant_dual_path,
+    fault_tolerant_path,
+)
+from repro.wormhole.star_routing import route_path_through, split_high_low
+
+
+@st.composite
+def mesh_scenarios(draw):
+    """A mesh, a source, label-sorted destinations, and a fault set."""
+    w = draw(st.integers(3, 6))
+    h = draw(st.integers(3, 6))
+    mesh = Mesh2D(w, h)
+    nodes = list(mesh.nodes())
+    source = draw(st.sampled_from(nodes))
+    k = draw(st.integers(1, min(6, len(nodes) - 1)))
+    dests = draw(
+        st.lists(
+            st.sampled_from([v for v in nodes if v != source]),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    channels = list(mesh.channels())
+    faulty = draw(st.lists(st.sampled_from(channels), max_size=8, unique=True))
+    return mesh, source, tuple(dests), frozenset(faulty)
+
+
+def label_monotone_toward(labeling, path, dests):
+    """Check every hop moves the label strictly toward the current
+    target's label without overshooting."""
+    queue = list(dests)
+    for u, v in zip(path, path[1:]):
+        while queue and queue[0] == u:
+            queue.pop(0)
+        if not queue:
+            break
+        lu, lv = labeling.label(u), labeling.label(v)
+        lt = labeling.label(queue[0])
+        if lu < lt:
+            assert lu < lv <= lt, (u, v, queue[0])
+        else:
+            assert lt <= lv < lu, (u, v, queue[0])
+
+
+class TestFaultTolerantPath:
+    @settings(max_examples=150, deadline=None)
+    @given(mesh_scenarios())
+    def test_detour_avoids_faults_and_stays_monotone(self, scenario):
+        mesh, source, dests, faulty = scenario
+        labeling = canonical_labeling(mesh)
+        request = MulticastRequest(mesh, source, dests)
+        high, low = split_high_low(request, labeling)
+        for group in (high, low):
+            if not group:
+                continue
+            try:
+                path = fault_tolerant_path(labeling, source, group, faulty)
+            except Unroutable as exc:
+                if exc.node is None:
+                    continue  # non-convergence variant carries no hop
+                # exactness: at the reported hop, *every* admissible
+                # candidate really is faulty
+                for p in labeling.route_candidates(exc.node, exc.target):
+                    assert (exc.node, p) in faulty
+                for p in labeling.monotone_candidates(exc.node, exc.target):
+                    assert (exc.node, p) in faulty
+                assert exc.channel in faulty
+                continue
+            # the route is a real walk avoiding every faulty channel...
+            for hop in zip(path, path[1:]):
+                assert mesh.are_adjacent(*hop)
+                assert hop not in faulty
+            # ...visiting the destinations in itinerary order...
+            i = 0
+            for d in group:
+                while i < len(path) and path[i] != d:
+                    i += 1
+                assert i < len(path), f"{d} missing from {path}"
+            # ...and label-monotone toward each successive target.
+            label_monotone_toward(labeling, path, group)
+
+    @settings(max_examples=80, deadline=None)
+    @given(mesh_scenarios())
+    def test_no_faults_reduces_to_plain_routing(self, scenario):
+        mesh, source, dests, _ = scenario
+        labeling = canonical_labeling(mesh)
+        request = MulticastRequest(mesh, source, dests)
+        high, low = split_high_low(request, labeling)
+        for group in (high, low):
+            if not group:
+                continue
+            assert fault_tolerant_path(labeling, source, group, ()) == \
+                route_path_through(labeling, source, group)
+
+    @settings(max_examples=80, deadline=None)
+    @given(mesh_scenarios())
+    def test_dual_path_star_contract(self, scenario):
+        mesh, source, dests, faulty = scenario
+        request = MulticastRequest(mesh, source, dests)
+        try:
+            star = fault_tolerant_dual_path(request, faulty)
+        except Unroutable:
+            return
+        covered = {d for group in star.partition for d in group}
+        assert covered == set(dests)
+        for path in star.paths:
+            for hop in zip(path, path[1:]):
+                assert hop not in faulty
+
+
+class TestUnroutableExactness:
+    def test_blocked_source_is_unroutable(self):
+        """Faulting every channel out of the source must raise, and the
+        exception names the blocking channel R would have taken."""
+        mesh = Mesh2D(4, 4)
+        labeling = canonical_labeling(mesh)
+        faulty = {((0, 0), p) for p in mesh.neighbors((0, 0))}
+        with pytest.raises(Unroutable) as exc_info:
+            fault_tolerant_path(labeling, (0, 0), [(3, 3)], faulty)
+        exc = exc_info.value
+        assert exc.node == (0, 0)
+        assert exc.target == (3, 3)
+        assert exc.channel in faulty
+
+    def test_single_missing_fault_is_routable(self):
+        """Removing any one channel from a blocking fault set restores
+        routability through exactly that channel."""
+        mesh = Mesh2D(4, 4)
+        labeling = canonical_labeling(mesh)
+        all_out = {((0, 0), p) for p in mesh.neighbors((0, 0))}
+        for spared in list(all_out):
+            faulty = all_out - {spared}
+            path = fault_tolerant_path(labeling, (0, 0), [(3, 3)], faulty)
+            assert (path[0], path[1]) == spared

@@ -1,0 +1,258 @@
+"""Tests for the fault-injection subsystem: fault plans, the
+fault-aware simulator, resilient delivery, and the registry's
+``fault_tolerant`` capability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.sim import (
+    FaultEvent,
+    FaultPlan,
+    FaultState,
+    SimConfig,
+    SimStats,
+    derive_fault_seed,
+    run_dynamic,
+    run_resilient,
+)
+from repro.topology import Hypercube, Mesh2D
+
+MESH = Mesh2D(6, 6)
+SMALL = Mesh2D(4, 4)
+CFG = SimConfig(num_messages=300, seed=7)
+
+
+class TestZeroRateParity:
+    """The acceptance criterion: with no faults configured, the
+    fault-aware driver reproduces :func:`run_dynamic` exactly."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["dual-path", "fixed-path", "multi-path", "dual-path-adaptive"]
+    )
+    def test_mesh_parity(self, scheme):
+        a = run_dynamic(MESH, scheme, CFG)
+        b = run_resilient(MESH, scheme, CFG)
+        assert b.deliveries == a.deliveries
+        assert b.latency == a.latency  # identical Summary, not just close
+        assert b.sim_time == a.sim_time
+        assert b.worms == a.worms
+        assert b.injected_messages == a.injected_messages
+
+    def test_hypercube_parity(self):
+        cfg = SimConfig(num_messages=200, seed=3, num_destinations=4)
+        cube = Hypercube(4)
+        a = run_dynamic(cube, "dual-path", cfg)
+        b = run_resilient(cube, "dual-path", cfg)
+        assert (a.deliveries, a.latency, a.sim_time) == (
+            b.deliveries,
+            b.latency,
+            b.sim_time,
+        )
+
+    def test_zero_rate_counters_clean(self):
+        r = run_resilient(MESH, "dual-path", CFG)
+        s = r.stats
+        assert s.delivered == r.deliveries
+        assert s.dropped == 0
+        assert s.killed_worms == 0
+        assert s.retries == 0
+        assert s.link_fault_events == 0
+        assert r.delivery_ratio == 1.0
+        assert r.expected_deliveries == r.deliveries
+
+
+class TestFaultPlan:
+    def test_deterministic_in_seed(self):
+        a = FaultPlan.sample(MESH, link_rate=0.1, horizon=1.0, seed=5)
+        b = FaultPlan.sample(MESH, link_rate=0.1, horizon=1.0, seed=5)
+        c = FaultPlan.sample(MESH, link_rate=0.1, horizon=1.0, seed=6)
+        assert a == b
+        assert a != c
+        assert a.events  # 10% of 120 directed channels -> 12 failures
+
+    def test_events_sorted_and_within_horizon(self):
+        plan = FaultPlan.sample(
+            MESH, link_rate=0.2, node_rate=0.1, horizon=2.0, seed=9
+        )
+        times = [ev.time for ev in plan.events]
+        assert times == sorted(times)
+        downs = [ev for ev in plan.events if ev.down]
+        assert all(ev.time < 2.0 for ev in downs)
+        kinds = {ev.kind for ev in plan.events}
+        assert kinds == {"link", "node"}
+
+    def test_permanent_faults_have_no_repairs(self):
+        plan = FaultPlan.sample(MESH, link_rate=0.1, horizon=1.0, seed=5, mttr=0.0)
+        assert all(ev.down for ev in plan.events)
+
+    def test_transient_faults_repair(self):
+        plan = FaultPlan.sample(
+            MESH, link_rate=0.1, horizon=1.0, seed=5, mtbf=0.3, mttr=0.1
+        )
+        assert any(not ev.down for ev in plan.events)
+        # every failure of an element is eventually followed by a repair
+        state: dict = {}
+        for ev in plan.events:
+            assert state.get(ev.target) != ev.down  # no double-fail/double-fix
+            state[ev.target] = ev.down
+
+    def test_from_config_empty_without_rates(self):
+        assert FaultPlan.from_config(MESH, CFG) == FaultPlan()
+
+    def test_from_config_uses_independent_seed(self):
+        cfg = CFG.replace(link_fault_rate=0.1)
+        plan = FaultPlan.from_config(MESH, cfg)
+        assert plan.events
+        explicit = FaultPlan.from_config(MESH, cfg.replace(fault_seed=123))
+        assert explicit != plan
+        assert derive_fault_seed(CFG.seed) != CFG.seed
+
+
+class TestFaultState:
+    def test_channel_and_node_queries(self):
+        state = FaultState()
+        assert not state.any_down
+        assert not state.channel_down(((0, 0), (1, 0)))
+        state.down_links.add(((0, 0), (1, 0)))
+        assert state.channel_down(((0, 0), (1, 0)))
+        assert state.channel_down(((0, 0), (1, 0), "plane-2"))  # tagged keys
+        assert not state.channel_down(((1, 0), (0, 0)))  # directed
+        state.down_nodes.add((2, 2))
+        assert state.channel_down(((2, 2), (2, 3)))
+        assert state.channel_down(((2, 3), (2, 2)))
+        assert state.node_down((2, 2))
+
+    def test_blocked_links_covers_node_incidence(self):
+        state = FaultState()
+        state.down_nodes.add((1, 1))
+        state._version += 1
+        blocked = state.blocked_links(SMALL)
+        for nbr in SMALL.neighbors((1, 1)):
+            assert ((1, 1), nbr) in blocked
+            assert (nbr, (1, 1)) in blocked
+        assert state.blocked_links(SMALL) is blocked  # cached per version
+
+
+class TestFaultedRuns:
+    def test_deterministic_link_kill(self):
+        """A single permanent time-0 link fault kills fixed-path worms
+        crossing it; the run still completes (killed worms release
+        their channels) and accounting stays consistent."""
+        plan = FaultPlan(
+            events=(FaultEvent(0.0, "link", ((1, 0), (2, 0)), True),), horizon=1.0
+        )
+        cfg = SimConfig(num_messages=200, seed=11)
+        r = run_resilient(SMALL, "fixed-path", cfg, plan=plan)
+        s = r.stats
+        assert s.link_fault_events == 1
+        assert s.killed_worms > 0
+        assert s.retries > 0  # drops trigger retransmission
+        assert s.dropped > 0  # the fixed path cannot avoid the fault
+        assert s.delivered + s.dropped == r.expected_deliveries
+        assert 0.0 < r.delivery_ratio < 1.0
+
+    def test_adaptive_detours_around_link_fault(self):
+        """The adaptive worm avoids a faulted candidate channel at
+        simulation time: on the hypercube's Gray labeling the link
+        8->12 always has a monotone alternative, so the worm detours
+        and delivers everything without a single kill."""
+        plan = FaultPlan(events=(FaultEvent(0.0, "link", (8, 12), True),), horizon=1.0)
+        cfg = SimConfig(num_messages=200, seed=11, num_destinations=5)
+        r = run_resilient(Hypercube(4), "dual-path-adaptive", cfg, plan=plan)
+        assert r.stats.detoured > 0
+        assert r.stats.killed_worms == 0
+        assert r.delivery_ratio == 1.0
+
+    def test_fault_tolerant_beats_fixed_path(self):
+        """The §8.2 robustness claim, dynamically: under the same fault
+        schedule the fault-tolerant schemes deliver strictly more than
+        the non-fault-tolerant fixed path."""
+        cfg = CFG.replace(link_fault_rate=0.05)
+        fixed = run_resilient(MESH, "fixed-path", cfg)
+        dual = run_resilient(MESH, "dual-path", cfg)
+        adaptive = run_resilient(MESH, "dual-path-adaptive", cfg)
+        assert dual.delivery_ratio > fixed.delivery_ratio
+        assert adaptive.delivery_ratio > fixed.delivery_ratio
+
+    def test_node_faults(self):
+        cfg = CFG.replace(node_fault_rate=0.05)
+        r = run_resilient(MESH, "dual-path", cfg)
+        s = r.stats
+        assert s.node_fault_events > 0
+        assert s.delivered + s.dropped == r.expected_deliveries
+        assert r.delivery_ratio < 1.0
+
+    def test_transient_faults_repair_and_recover(self):
+        cfg = CFG.replace(link_fault_rate=0.1, fault_mtbf=2e-3, fault_mttr=5e-4)
+        r = run_resilient(MESH, "dual-path", cfg)
+        assert r.stats.repair_events > 0
+        # transient faults degrade less than the same rate of permanent ones
+        permanent = run_resilient(MESH, "dual-path", CFG.replace(link_fault_rate=0.1))
+        assert r.delivery_ratio > permanent.delivery_ratio
+
+    def test_retry_budget_bounds_attempts(self):
+        plan = FaultPlan(
+            events=(FaultEvent(0.0, "link", ((1, 0), (2, 0)), True),), horizon=1.0
+        )
+        cfg = SimConfig(num_messages=100, seed=2, max_retries=0)
+        r = run_resilient(SMALL, "fixed-path", cfg, plan=plan)
+        assert r.stats.retries == 0
+        assert r.stats.dropped > 0
+
+    def test_degradation_monotone_in_samples(self):
+        """More faults -> (weakly) fewer deliveries, the degradation
+        curve the benchmark plots."""
+        lo = run_resilient(MESH, "dual-path", CFG.replace(link_fault_rate=0.02))
+        hi = run_resilient(MESH, "dual-path", CFG.replace(link_fault_rate=0.15))
+        assert hi.delivery_ratio < lo.delivery_ratio <= 1.0
+
+
+class TestRegistryCapability:
+    def test_flags(self):
+        assert registry.get("dual-path").fault_tolerant
+        assert registry.get("dual-path-adaptive").fault_tolerant
+        assert not registry.get("fixed-path").fault_tolerant
+        assert not registry.get("multi-path").fault_tolerant
+
+    def test_specs_filter(self):
+        names = {s.name for s in registry.specs(fault_tolerant=True)}
+        assert names == {"dual-path", "dual-path-adaptive"}
+        assert "fixed-path" in {
+            s.name for s in registry.specs(fault_tolerant=False, simulable=True)
+        }
+
+    def test_fault_route_conformance(self):
+        """The capability's conformance hook: the registered fault
+        router actually avoids the declared faults and still satisfies
+        the star contract (validate() runs inside)."""
+        from repro.models import MulticastRequest
+
+        request = MulticastRequest(SMALL, (0, 0), ((3, 3), (0, 3)))
+        faulty = {((0, 0), (1, 0))}
+        star = registry.get("dual-path").fault_route(request, faulty)
+        for path in star.paths:
+            for hop in zip(path, path[1:]):
+                assert hop not in faulty
+        # the detour route still reaches every destination
+        covered = {d for group in star.partition for d in group}
+        assert covered == set(request.destinations)
+
+    def test_fault_route_unregistered_raises(self):
+        with pytest.raises(ValueError, match="declares no fault router"):
+            registry.get("fixed-path").fault_route(None, ())
+
+    def test_scheme_table_has_fault_column(self):
+        table = registry.scheme_table_markdown()
+        assert "fault-tolerant" in table.splitlines()[0]
+
+
+class TestSimStats:
+    def test_roundtrip(self):
+        s = SimStats(delivered=10, dropped=2, retries=1, killed_worms=3)
+        assert SimStats.from_dict(s.to_dict()) == s
+
+    def test_delivery_ratio(self):
+        assert SimStats().delivery_ratio == 1.0
+        assert SimStats(delivered=3, dropped=1).delivery_ratio == 0.75
