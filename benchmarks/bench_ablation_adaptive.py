@@ -43,6 +43,6 @@ def test_ablation_adaptive(benchmark, emit):
     )
     # adaptive never substantially worse, and identical in the
     # contention-free limit
-    for ia, det, ada, _ in rows:
+    for _ia, det, ada, _ in rows:
         assert ada <= det * 1.15
     assert abs(rows[0][1] - rows[0][2]) < 0.2 * rows[0][1]

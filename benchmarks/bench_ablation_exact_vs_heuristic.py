@@ -63,6 +63,6 @@ def test_ablation_exact_vs_heuristic(benchmark, emit):
         ["pair", "mean ratio", "max ratio"],
         rows,
     )
-    for name, mean_ratio, max_ratio in rows:
+    for name, mean_ratio, _max_ratio in rows:
         assert mean_ratio >= 1.0 - 1e-9
         assert mean_ratio < 2.5, name

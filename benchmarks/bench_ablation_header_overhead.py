@@ -47,7 +47,7 @@ def test_ablation_header_overhead(benchmark, emit):
         ["k", "dual (no hdr)", "multi (no hdr)", "dual (hdr)", "multi (hdr)"],
         rows,
     )
-    for k, dual0, multi0, dual1, multi1 in rows:
+    for _k, dual0, multi0, dual1, multi1 in rows:
         # headers only add latency
         assert dual1 >= dual0 * 0.99
         assert multi1 >= multi0 * 0.99

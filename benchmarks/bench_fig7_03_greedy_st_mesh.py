@@ -32,6 +32,6 @@ def test_fig7_3_greedy_st_mesh(benchmark, emit):
         ["k", "runs", "greedy-ST", "multi-unicast", "broadcast"],
         rows,
     )
-    for k, _, st, uni, bc in rows:
+    for _k, _, st, uni, bc in rows:
         assert st < uni
         assert st < bc

@@ -32,6 +32,6 @@ def test_fig7_4_greedy_st_cube(benchmark, emit):
         ["k", "runs", "greedy-ST", "LEN", "multi-unicast"],
         rows,
     )
-    for k, _, st, len_t, uni in rows:
+    for _k, _, st, len_t, uni in rows:
         assert st <= len_t  # the headline improvement
         assert len_t < uni

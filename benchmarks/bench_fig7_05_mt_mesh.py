@@ -33,6 +33,6 @@ def test_fig7_5_mt_mesh(benchmark, emit):
         ["k", "runs", "divided-greedy", "X-first", "multi-unicast", "broadcast"],
         rows,
     )
-    for k, _, dg, xf, uni, bc in rows:
+    for _k, _, dg, xf, uni, _bc in rows:
         assert dg <= xf  # divided greedy always below X-first
         assert xf < uni

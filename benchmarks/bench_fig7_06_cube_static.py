@@ -32,7 +32,7 @@ def test_fig7_6_cube_static(benchmark, emit):
         ["k", "runs", "multi-path", "dual-path", "fixed-path"],
         rows,
     )
-    for k, _, multi, dual, fixed in rows:
+    for _k, _, multi, dual, fixed in rows:
         # on the hypercube dual and multi are statically close (label
         # bucketing can forfeit prefix sharing at small k); both stay
         # well below fixed-path

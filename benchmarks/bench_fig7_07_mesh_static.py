@@ -34,7 +34,7 @@ def test_fig7_7_mesh_static(benchmark, emit):
         ["k", "runs", "multi-path", "dual-path", "fixed-path"],
         rows,
     )
-    for k, _, multi, dual, fixed in rows:
+    for _k, _, multi, dual, fixed in rows:
         assert multi <= dual * 1.02
         assert dual <= fixed * 1.02
     # the fixed-vs-dual gap shrinks with k

@@ -51,5 +51,5 @@ def test_mixed_traffic_interaction(benchmark, emit):
     # the wasteful fixed-path multicast hurts bystander unicasts most
     assert by["fixed-path"][1] > by["multi-path"][1]
     # unicasts are never slower than the multicasts sharing the wires
-    for scheme, uni, multi in rows:
+    for _scheme, uni, multi in rows:
         assert uni <= multi * 1.2

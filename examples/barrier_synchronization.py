@@ -35,13 +35,14 @@ def release_latency(cube: Hypercube, scheme: str, master: int) -> float:
     net = WormholeNetwork(env, cfg)
     workers = tuple(v for v in cube.nodes() if v != master)
     request = MulticastRequest(cube, master, workers)
-    if scheme == "multiple-unicast":
-        specs = [
+    specs = (
+        [
             PathSpec(tuple(cube.dimension_ordered_path(master, w)), frozenset({w}))
             for w in workers
         ]
-    else:
-        specs = Router(cube, scheme)(request)
+        if scheme == "multiple-unicast"
+        else Router(cube, scheme)(request)
+    )
     inject_specs(net, 1, specs, cfg.channels_per_link)
     if not net.run_to_completion():
         return float("nan")

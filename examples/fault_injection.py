@@ -15,6 +15,7 @@ Run:  python examples/fault_injection.py
 from __future__ import annotations
 
 import random
+from contextlib import suppress
 from statistics import mean
 
 from repro.models import MulticastRequest, random_multicast
@@ -40,11 +41,9 @@ def survival_study() -> None:
             frac_ok = routability(topo, faults, requests)
             detours = []
             for r in requests:
-                try:
+                with suppress(Unroutable):
                     ft = fault_tolerant_dual_path(r, faults)
                     detours.append(ft.traffic - dual_path_route(r).traffic)
-                except Unroutable:
-                    pass
             extra = mean(detours) if detours else float("nan")
             name = "mesh 8x8" if isinstance(topo, Mesh2D) else "6-cube"
             print(f"{name:<12}{frac:>11.0%}{frac_ok:>10.2f}{extra:>13.2f}")

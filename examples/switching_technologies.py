@@ -54,10 +54,11 @@ def loaded_comparison(interarrival_us: float) -> None:
         env = Environment()
         rng = random.Random(cfg.seed)
         router = Router(mesh, "dual-path")
-        if tech == "store-and-forward":
-            net = SAFNetwork(env, cfg, buffers_per_node=4, structured=True)
-        else:
-            net = WormholeNetwork(env, cfg)
+        net = (
+            SAFNetwork(env, cfg, buffers_per_node=4, structured=True)
+            if tech == "store-and-forward"
+            else WormholeNetwork(env, cfg)
+        )
         state = {"n": 0}
 
         def emit(node, net=net, env=env, rng=rng, tech=tech):

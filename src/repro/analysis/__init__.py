@@ -1,0 +1,92 @@
+"""Static verification: deadlock certificates, routing invariants, lint.
+
+The dissertation's correctness claims are *structural* (Ch. 6): a
+multicast wormhole scheme is deadlock-free iff its channel dependency
+graph is acyclic, and path/tree routes must respect Hamiltonian-label
+monotonicity and subnetwork partitioning.  This package turns those
+claims from test-time spot checks into machine-checked artifacts:
+
+* :mod:`repro.analysis.graph` — the deterministic cycle/topological-
+  order core shared by every engine (``is_acyclic`` / ``find_cycle`` /
+  ``topological_order``, with shortest-cycle minimization);
+* :mod:`repro.analysis.certify` — the deadlock certifier: for every
+  registered :class:`repro.registry.AlgorithmSpec` with a
+  ``deadlock_free`` claim it either emits a machine-checkable
+  acyclicity certificate (a topological order of the full CDG,
+  serialized as JSON) or a *minimized* counterexample — the shortest
+  channel cycle plus the witness multicast sets inducing it (the
+  Fig. 6.1 / 6.4 constructions fall out of the same engine);
+* :mod:`repro.analysis.invariants` — reusable static checkers for
+  label monotonicity, reachability, subnetwork partition soundness and
+  virtual-channel layering, applied to every routable spec;
+* :mod:`repro.analysis.lint` — the repo-specific AST lint pass
+  (``python -m repro lint``) with a plugin-style rule API.
+
+Front ends: ``python -m repro certify [--all]`` and
+``python -m repro lint``; both run in CI (the ``analyze`` job).
+"""
+
+from .certify import (
+    REPRESENTATIVE_TOPOLOGIES,
+    Certificate,
+    CertificationError,
+    Counterexample,
+    certificate_status,
+    certify_all,
+    certify_claim,
+    certify_spec,
+    fig_6_1_counterexample,
+    fig_6_4_counterexample,
+    load_artifact,
+    refute,
+    search_counterexample,
+)
+from .graph import (
+    CycleError,
+    find_cycle,
+    is_acyclic,
+    shortest_cycle,
+    topological_order,
+)
+from .invariants import (
+    InvariantViolation,
+    check_label_monotonicity,
+    check_partition_soundness,
+    check_quadrant_coverage,
+    check_reachability,
+    check_spec_invariants,
+    check_vc_layering,
+)
+from .lint import LintFinding, lint_paths, rule, rules
+
+__all__ = [
+    "REPRESENTATIVE_TOPOLOGIES",
+    "Certificate",
+    "CertificationError",
+    "Counterexample",
+    "CycleError",
+    "InvariantViolation",
+    "LintFinding",
+    "certificate_status",
+    "certify_all",
+    "certify_claim",
+    "certify_spec",
+    "check_label_monotonicity",
+    "check_partition_soundness",
+    "check_quadrant_coverage",
+    "check_reachability",
+    "check_spec_invariants",
+    "check_vc_layering",
+    "fig_6_1_counterexample",
+    "fig_6_4_counterexample",
+    "find_cycle",
+    "is_acyclic",
+    "lint_paths",
+    "load_artifact",
+    "refute",
+    "rule",
+    "rules",
+    "search_counterexample",
+    "shortest_cycle",
+    "topological_order",
+]

@@ -1,0 +1,211 @@
+"""Deterministic directed-graph core for the static analyses.
+
+Every engine in :mod:`repro.analysis` reduces to questions about the
+channel dependency graph: *is it acyclic* (Dally & Seitz certifies
+deadlock freedom), and if not, *what is the smallest cycle* (the
+counterexample a human can check against Figs. 6.1/6.4).  The
+functions here are therefore deterministic — nodes are visited in a
+canonical sorted order regardless of set/dict iteration order — and
+cycle reports are *minimized*: :func:`find_cycle` returns a shortest
+cycle of the graph, not merely the first back-edge a DFS happens to
+close.
+
+Graph nodes are arbitrary hashable channel descriptors — ``(u, v)``
+tuples, quadrant- or plane-tagged variants — so ordering falls back to
+``repr`` (stable for the int/str/tuple values used throughout).
+
+Moved out of ``repro.wormhole.cdg`` (which re-exports
+:func:`is_acyclic` / :func:`find_cycle` for backward compatibility).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+__all__ = [
+    "CycleError",
+    "find_cycle",
+    "is_acyclic",
+    "shortest_cycle",
+    "topological_order",
+]
+
+#: a directed edge between two channel descriptors
+Edge = tuple[Hashable, Hashable]
+
+
+def node_key(node: Hashable) -> str:
+    """Canonical sort key for a graph node (also the serialized node
+    form used by certificate artifacts)."""
+    return repr(node)
+
+
+class CycleError(ValueError):
+    """Raised by :func:`topological_order` on a cyclic graph; carries a
+    minimized (shortest) cycle as evidence."""
+
+    def __init__(self, cycle: list):
+        self.cycle = cycle
+        super().__init__(f"graph is cyclic: {' -> '.join(map(node_key, cycle))}")
+
+
+def _adjacency(edges: Iterable[Edge]) -> tuple[list, dict]:
+    """Sorted node list and deduplicated adjacency (successor lists in
+    canonical order) of an edge iterable."""
+    succ: dict = {}
+    nodes: set = set()
+    for a, b in edges:
+        nodes.add(a)
+        nodes.add(b)
+        succ.setdefault(a, set()).add(b)
+    ordered = sorted(nodes, key=node_key)
+    adj = {v: sorted(succ.get(v, ()), key=node_key) for v in ordered}
+    return ordered, adj
+
+
+def topological_order(edges: Iterable[Edge], nodes: Iterable[Hashable] = ()) -> list:
+    """A deterministic topological order of the graph's nodes (extra
+    isolated ``nodes`` may be supplied; they sort in canonically).
+
+    The returned order is the *certificate* of acyclicity: every edge
+    goes from an earlier to a later position, which
+    :func:`repro.analysis.certify.Certificate.validate` re-checks
+    mechanically.  Raises :class:`CycleError` (with a shortest cycle)
+    when no such order exists.
+    """
+    ordered, adj = _adjacency(edges)
+    extra = sorted(set(nodes) - set(ordered), key=node_key)
+    ordered = sorted(ordered + extra, key=node_key)
+    adj.update({v: [] for v in extra})
+    indegree = {v: 0 for v in ordered}
+    for v in ordered:
+        for w in adj[v]:
+            indegree[w] += 1
+    # Kahn's algorithm with a deterministic worklist: ready nodes are
+    # consumed in canonical order (the initial list is sorted, and
+    # newly-ready nodes are appended in sorted successor order).
+    ready = deque(v for v in ordered if indegree[v] == 0)
+    out: list = []
+    while ready:
+        v = ready.popleft()
+        out.append(v)
+        for w in adj[v]:
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(w)
+    if len(out) != len(ordered):
+        cycle = shortest_cycle(edges)
+        assert cycle is not None
+        raise CycleError(cycle)
+    return out
+
+
+def is_acyclic(edges: Iterable[Edge]) -> bool:
+    """Whether the directed graph given by ``edges`` has no cycle."""
+    ordered, adj = _adjacency(edges)
+    indegree = {v: 0 for v in ordered}
+    for v in ordered:
+        for w in adj[v]:
+            indegree[w] += 1
+    ready = deque(v for v in ordered if indegree[v] == 0)
+    seen = 0
+    while ready:
+        v = ready.popleft()
+        seen += 1
+        for w in adj[v]:
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(w)
+    return seen == len(ordered)
+
+
+def shortest_cycle(edges: Iterable[Edge]) -> list | None:
+    """A shortest directed cycle, as a closed node list (first ==
+    last), or ``None`` for acyclic graphs.
+
+    Deterministic: among equally short cycles the one through the
+    canonically smallest start node (and smallest successors under BFS
+    tie-breaking) is returned.  The graph is first pruned to its cyclic
+    core by repeatedly removing indegree-0 nodes, then one BFS per
+    surviving node finds the shortest closed walk back to it.
+    """
+    edges = list(edges)
+    ordered, adj = _adjacency(edges)
+    # prune to the cyclic core: nodes never part of any cycle fall off
+    indegree = {v: 0 for v in ordered}
+    for v in ordered:
+        for w in adj[v]:
+            indegree[w] += 1
+    ready = deque(v for v in ordered if indegree[v] == 0)
+    while ready:
+        v = ready.popleft()
+        for w in adj[v]:
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(w)
+    core = {v for v in ordered if indegree[v] > 0}
+    if not core:
+        return None
+    core_adj = {v: [w for w in adj[v] if w in core] for v in core}
+
+    best: list | None = None
+    for start in sorted(core, key=node_key):
+        if best is not None and len(best) <= 3:
+            break  # a 2-cycle cannot be beaten
+        # BFS from start's successors back to start
+        parent: dict = {}
+        frontier = deque()
+        for w in core_adj[start]:
+            if w == start:
+                return [start, start]  # self-loop: the minimum possible
+            if w not in parent:
+                parent[w] = start
+                frontier.append((w, 1))
+        found = None
+        while frontier:
+            v, depth = frontier.popleft()
+            if best is not None and depth + 1 >= len(best):
+                break  # cannot improve on the incumbent
+            for w in core_adj[v]:
+                if w == start:
+                    found = v
+                    frontier.clear()
+                    break
+                if w not in parent:
+                    parent[w] = v
+                    frontier.append((w, depth + 1))
+        if found is not None:
+            path = [found]
+            cur = found
+            while cur != start:
+                cur = parent[cur]
+                path.append(cur)
+            path.reverse()  # [start, ..., found]
+            cycle = path + [start]
+            if best is None or len(cycle) < len(best):
+                best = cycle
+    return best
+
+
+def find_cycle(edges: Iterable[Edge]) -> list | None:
+    """A directed cycle (as a closed node list, first == last) or
+    ``None``.
+
+    Since the PR-4 refactor this is an alias of :func:`shortest_cycle`:
+    the reported cycle is minimized and deterministic, which the
+    deadlock counterexamples rely on (Fig. 6.4's two-channel cycle is
+    reported as exactly those two channels, not a longer walk through
+    the same core).
+    """
+    return shortest_cycle(edges)
+
+
+def validate_cycle(cycle: Sequence, edges: Iterable[Edge]) -> bool:
+    """Whether ``cycle`` (closed node list) is a genuine cycle of the
+    graph: length >= 2, first == last, and every consecutive pair is an
+    edge.  Used to re-check counterexample artifacts."""
+    if len(cycle) < 2 or cycle[0] != cycle[-1]:
+        return False
+    edge_set = set(edges)
+    return all((a, b) in edge_set for a, b in zip(cycle, cycle[1:]))

@@ -1,0 +1,323 @@
+"""Repo-specific AST lint pass: ``python -m repro lint``.
+
+Generic linters (the ruff families in ``pyproject.toml``) cannot see
+*project* conventions — that scheme dispatch must flow through
+:mod:`repro.registry`, that simulation/fault code must never construct
+an unseeded RNG (replications derive every stream from the config
+seed), that :class:`~repro.sim.kernel.LegacyEnvironment` is reserved
+for the parity layer, and that worker/retry paths must never swallow
+``KeyboardInterrupt`` with a bare ``except``.  This module enforces
+them with a small plugin-style rule API: a rule is one decorated
+generator, so future PRs add checks in ~20 lines::
+
+    from repro.analysis.lint import rule
+
+    @rule("my-rule", "what it enforces")
+    def my_rule(ctx):
+        for node in ctx.walk(ast.Call):
+            if looks_wrong(node):
+                yield node, "explain the violation"
+
+Suppression: append ``# lint: ignore[rule-id]`` (or a blanket
+``# lint: ignore``) to the offending line.
+
+Exit codes of the CLI front end: 0 clean, 1 findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "LintFinding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "rule",
+    "rules",
+]
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<ids>[\w\-, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    _walked: dict = field(default_factory=dict, repr=False)
+
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        """All AST nodes of the given types (cached single traversal)."""
+        nodes = self._walked.get("all")
+        if nodes is None:
+            nodes = self._walked["all"] = list(ast.walk(self.tree))
+        for node in nodes:
+            if not types or isinstance(node, types):
+                yield node
+
+    def module_aliases(self, module: str) -> set[str]:
+        """Local names bound to ``module`` by plain imports
+        (``import random`` / ``import numpy as np``)."""
+        aliases = set()
+        for node in self.walk(ast.Import):
+            for item in node.names:
+                if item.name == module:
+                    aliases.add(item.asname or item.name)
+        return aliases
+
+    def in_file(self, *suffixes: str) -> bool:
+        """Whether this file's path ends with one of the given
+        ``dir/file.py`` suffixes (posix matching)."""
+        return any(self.relpath.endswith(s) for s in suffixes)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: ``check(ctx)`` yields
+    ``(node_or_line, message)`` violations."""
+
+    id: str
+    description: str
+    check: Callable[[FileContext], Iterable[tuple]]
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, description: str):
+    """Decorator registering a lint rule (the plugin API)."""
+
+    def decorate(fn: Callable) -> Callable:
+        if rule_id in _RULES:
+            raise ValueError(f"lint rule {rule_id!r} is already registered")
+        _RULES[rule_id] = Rule(rule_id, description, fn)
+        return fn
+
+    return decorate
+
+
+def rules() -> list[Rule]:
+    """All registered rules, sorted by id."""
+    return sorted(_RULES.values(), key=lambda r: r.id)
+
+
+# ----------------------------------------------------------------------
+# The rules.
+# ----------------------------------------------------------------------
+
+
+def _scheme_names() -> frozenset:
+    """Registered scheme names (canonical + aliases), cached."""
+    global _SCHEME_NAMES
+    if _SCHEME_NAMES is None:
+        from .. import registry
+
+        _SCHEME_NAMES = frozenset(registry.known_names())
+    return _SCHEME_NAMES
+
+
+_SCHEME_NAMES: frozenset | None = None
+
+
+@rule(
+    "no-registry-bypass",
+    "scheme dispatch must resolve through repro.registry, never by "
+    "comparing names against string literals",
+)
+def no_registry_bypass(ctx: FileContext) -> Iterator[tuple]:
+    if ctx.in_file("repro/registry.py"):
+        return
+    names = _scheme_names()
+
+    def literal_schemes(node) -> list[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return [node.value] if node.value in names else []
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return [s for e in node.elts for s in literal_schemes(e)]
+        return []
+
+    for node in ctx.walk(ast.Compare):
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                continue
+            hits = literal_schemes(comparator) + literal_schemes(node.left)
+            if hits:
+                yield node, (
+                    f"comparison against scheme name(s) {sorted(set(hits))} — "
+                    "dispatch on registry capabilities (worm_style/kind) instead"
+                )
+
+
+#: module-level ``random`` functions that mutate the hidden global RNG.
+_GLOBAL_RNG_FNS = frozenset(
+    {
+        "random", "randrange", "randint", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "seed", "getrandbits", "triangular", "vonmisesvariate",
+    }
+)
+
+
+@rule(
+    "no-unseeded-rng",
+    "sim/fault code must derive every RNG from an explicit seed — no "
+    "random.Random() without arguments, no global random/numpy.random calls",
+)
+def no_unseeded_rng(ctx: FileContext) -> Iterator[tuple]:
+    random_aliases = ctx.module_aliases("random")
+    numpy_aliases = ctx.module_aliases("numpy") | ctx.module_aliases("numpy.random")
+    for node in ctx.walk(ast.ImportFrom):
+        if node.module == "random":
+            bad = sorted(
+                item.name for item in node.names if item.name in _GLOBAL_RNG_FNS
+            )
+            if bad:
+                yield node, f"imports global-RNG functions {bad} from random"
+    for node in ctx.walk(ast.Call):
+        fn = node.func
+        if not isinstance(fn, ast.Attribute) or not isinstance(fn.value, (ast.Name, ast.Attribute)):
+            continue
+        # random.Random() with no seed / random.<stateful>()
+        if isinstance(fn.value, ast.Name) and fn.value.id in random_aliases:
+            if fn.attr == "Random" and not node.args and not node.keywords:
+                yield node, "random.Random() constructed without a seed"
+            elif fn.attr in _GLOBAL_RNG_FNS:
+                yield node, f"global RNG call random.{fn.attr}() — use a seeded random.Random"
+        # numpy.random.<fn>() globals and unseeded default_rng()
+        value = fn.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in numpy_aliases
+        ):
+            if fn.attr == "default_rng" and not node.args and not node.keywords:
+                yield node, "numpy default_rng() constructed without a seed"
+            elif fn.attr not in ("default_rng", "Generator", "SeedSequence", "PCG64"):
+                yield node, f"global numpy.random.{fn.attr}() — use a seeded Generator"
+
+
+@rule(
+    "no-legacy-environment",
+    "LegacyEnvironment is the parity baseline; only the kernel module, "
+    "the sim package re-export and the parity layer may reference it",
+)
+def no_legacy_environment(ctx: FileContext) -> Iterator[tuple]:
+    if ctx.in_file("sim/kernel.py", "sim/__init__.py", "labeling/reference.py"):
+        return
+    for node in ctx.walk(ast.Name, ast.Attribute):
+        name = node.id if isinstance(node, ast.Name) else node.attr
+        if name == "LegacyEnvironment":
+            yield node, "direct LegacyEnvironment use outside the parity layer"
+    for node in ctx.walk(ast.ImportFrom):
+        for item in node.names:
+            if item.name == "LegacyEnvironment":
+                yield node, "imports LegacyEnvironment outside the parity layer"
+
+
+@rule(
+    "no-bare-except",
+    "bare `except:` swallows KeyboardInterrupt/SystemExit in worker and "
+    "retry paths — name the exceptions (or use BaseException deliberately)",
+)
+def no_bare_except(ctx: FileContext) -> Iterator[tuple]:
+    for node in ctx.walk(ast.ExceptHandler):
+        if node.type is None:
+            yield node, "bare except clause"
+
+
+# ----------------------------------------------------------------------
+# Driver.
+# ----------------------------------------------------------------------
+
+
+def _suppressed(source_line: str, rule_id: str) -> bool:
+    m = _IGNORE_RE.search(source_line)
+    if not m:
+        return False
+    ids = m.group("ids")
+    if ids is None:
+        return True
+    return rule_id in {s.strip() for s in ids.split(",")}
+
+
+def lint_file(
+    path: str | Path,
+    root: str | Path | None = None,
+    select: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """Run the (selected) rules over one file."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintFinding(str(path), exc.lineno or 1, exc.offset or 0,
+                        "syntax-error", str(exc.msg))
+        ]
+    try:
+        relpath = path.resolve().relative_to(Path(root).resolve()).as_posix() if root else path.as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+    lines = source.splitlines()
+    wanted = set(select) if select is not None else None
+    findings = []
+    for r in rules():
+        if wanted is not None and r.id not in wanted:
+            continue
+        for node, message in r.check(ctx):
+            line = getattr(node, "lineno", None) or int(node)
+            col = getattr(node, "col_offset", 0)
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            if _suppressed(text, r.id):
+                continue
+            findings.append(LintFinding(str(path), line, col, r.id, message))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str | Path] = (),
+    select: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """Run the lint pass over files and/or directory trees (default:
+    the installed ``repro`` package source).  Findings are sorted by
+    location."""
+    roots = [Path(p) for p in paths]
+    if not roots:
+        import repro
+
+        roots = [Path(repro.__file__).parent]
+    findings: list[LintFinding] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        base = root if root.is_dir() else root.parent
+        for f in files:
+            if "__pycache__" in f.parts:
+                continue
+            findings.extend(lint_file(f, root=base, select=select))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -15,15 +15,21 @@ Commands
                 filters (kind / topology / deadlock freedom / fault
                 tolerance);
 ``labels``      print a mesh labeling grid (cf. Fig. 6.9);
-``deadlock``    run the §6.1 deadlock demonstrations.
+``deadlock``    run the §6.1 deadlock demonstrations;
+``certify``     machine-check every deadlock claim (CDG acyclicity
+                certificates / minimized counterexamples, written as
+                JSON artifacts) and sweep the routing invariants;
+``lint``        run the repo-specific AST lint pass
+                (:mod:`repro.analysis.lint`).
 
 Every scheme name is resolved through :mod:`repro.registry`, so new
 registrations appear in ``route --algorithm`` choices and the
 ``algorithms`` listing without touching this module.
 
-Exit codes: 0 success, 2 usage errors (unknown scheme, bad node, ...),
-3 no fault-avoiding route exists (:class:`Unroutable`, the blocking
-channel is named on stderr).
+Exit codes: 0 success, 1 analysis findings (``certify`` / ``lint``),
+2 usage errors (unknown scheme, bad node, ...), 3 no fault-avoiding
+route exists (:class:`Unroutable`, the blocking channel is named on
+stderr).
 """
 
 from __future__ import annotations
@@ -403,6 +409,74 @@ def cmd_deadlock(args) -> int:
     return 0
 
 
+def cmd_certify(args) -> int:
+    from .analysis.certify import REPRESENTATIVE_TOPOLOGIES, Counterexample, certify_all
+    from .analysis.invariants import check_spec_invariants
+
+    schemes = args.scheme or None
+    artifacts, failures = certify_all(schemes, out_dir=args.out or None)
+    for artifact in artifacts:
+        if isinstance(artifact, Counterexample):
+            label = artifact.construction or "searched"
+            print(
+                f"REFUTED    {artifact.scheme:<22} {artifact.topology_spec:<12} "
+                f"[{label}] cycle: {' -> '.join(artifact.cycle)}"
+            )
+        else:
+            print(
+                f"certified  {artifact.scheme:<22} {artifact.topology_spec:<12} "
+                f"{len(artifact.order)} nodes / {artifact.num_edges} edges "
+                f"(digest {artifact.edge_digest[:12]})"
+            )
+
+    violations = []
+    if not args.no_invariants:
+        # invariant sweep on the smallest representative topology of
+        # each family; exact solvers are exponential and have no
+        # dynamic claim, so they are skipped
+        for spec in registry.specs(include_families=False):
+            if spec.kind == "exact" or not (spec.routable or spec.simulable):
+                continue
+            if schemes is not None and spec.name not in schemes:
+                continue
+            for family in spec.topologies or ("mesh2d", "hypercube"):
+                reps = REPRESENTATIVE_TOPOLOGIES.get(family)
+                if not reps:
+                    continue
+                topology = parse_topology(reps[0])
+                violations.extend(check_spec_invariants(spec, topology))
+        for violation in violations:
+            print(f"INVARIANT  {violation}")
+
+    print(
+        f"{sum(1 for a in artifacts if a.kind == 'acyclicity-certificate')} "
+        f"certificates, "
+        f"{sum(1 for a in artifacts if a.kind == 'deadlock-counterexample')} "
+        f"counterexamples, {len(failures)} failures, "
+        f"{len(violations)} invariant violations"
+        + (f"; artifacts in {args.out}" if args.out else "")
+    )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures or violations else 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis.lint import lint_paths, rules
+
+    if args.list_rules:
+        for r in rules():
+            print(f"{r.id}: {r.description}")
+        return 0
+    findings = lint_paths(args.path, select=args.select or None)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -504,6 +578,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("deadlock", help="run the Fig. 6.1/6.4 deadlock demos")
     p.set_defaults(func=cmd_deadlock)
+
+    p = sub.add_parser(
+        "certify",
+        help="machine-check every deadlock claim and routing invariant",
+    )
+    p.add_argument("--scheme", action="append", default=[],
+                   help="certify only this scheme (repeatable; default: all)")
+    p.add_argument("--all", action="store_true",
+                   help="certify every registered claim (the default; "
+                        "explicit for CI readability)")
+    p.add_argument("--out", default="analysis/certificates",
+                   help="directory for the JSON certificate artifacts "
+                        "('' = do not write artifacts)")
+    p.add_argument("--no-invariants", action="store_true",
+                   help="skip the routing-invariant sweep")
+    p.set_defaults(func=cmd_certify)
+
+    p = sub.add_parser("lint", help="run the repo-specific AST lint pass")
+    p.add_argument("path", nargs="*",
+                   help="files/directories to lint (default: the installed "
+                        "repro package source)")
+    p.add_argument("--select", action="append", default=[],
+                   help="run only this rule id (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and exit")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

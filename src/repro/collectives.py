@@ -18,7 +18,7 @@ program (they run in that program's process).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from .progmodel import NodeAPI
 

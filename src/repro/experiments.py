@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from statistics import mean
-from typing import Callable
+from collections.abc import Callable
 
 from .models import random_multicast
 from .registry import get as get_spec

@@ -27,7 +27,7 @@ suite.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree

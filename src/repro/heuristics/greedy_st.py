@@ -14,7 +14,7 @@ least as good as the KMB algorithm's in the worst case (§5.2).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree

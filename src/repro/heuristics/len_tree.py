@@ -14,7 +14,7 @@ algorithm improves on it by placing junctions geometrically.
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..models.request import MulticastRequest
 from ..models.results import MulticastTree

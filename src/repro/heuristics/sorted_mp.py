@@ -52,10 +52,11 @@ def sorted_mp_next_hop(
     best = None
     best_f = -1
     for p in mapping.topology.neighbors(w):
-        if wrapping_home and p == source:
-            fp = mapping.m + mapping.h(source)
-        else:
-            fp = mapping.f(p, source)
+        fp = (
+            mapping.m + mapping.h(source)
+            if wrapping_home and p == source
+            else mapping.f(p, source)
+        )
         if best_f < fp <= fd:
             best, best_f = p, fp
     if best is None:  # cannot happen for a valid Hamilton cycle (Fact 2)

@@ -16,7 +16,7 @@ destination's f (Theorem 5.1 proves this induces a multicast path).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..topology.base import Node, Topology
 from ..topology.hypercube import Hypercube

@@ -20,7 +20,7 @@ the labeling ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..topology.base import Node, Topology
 from ..topology.karyncube import KAryNCube

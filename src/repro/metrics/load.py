@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..models.results import MulticastCycle, MulticastPath, MulticastStar, MulticastTree
 from ..topology.base import Topology

@@ -34,7 +34,7 @@ def dest_latencies(
     route,
     request: MulticastRequest,
     switching: str,
-    params: SwitchingParams = SwitchingParams(),
+    params: SwitchingParams | None = None,
 ) -> dict:
     """Contention-free delivery latency per destination.
 
@@ -45,6 +45,8 @@ def dest_latencies(
     replication is free at routers.
     """
     model = _MODELS[switching]
+    if params is None:
+        params = SwitchingParams()
     hops = route.dest_hops(request.destinations)
     return {d: model(h, params) for d, h in hops.items()}
 
@@ -53,7 +55,7 @@ def mean_latency(
     route,
     request: MulticastRequest,
     switching: str,
-    params: SwitchingParams = SwitchingParams(),
+    params: SwitchingParams | None = None,
 ) -> float:
     """Mean contention-free latency over the destinations."""
     return mean(dest_latencies(route, request, switching, params).values())
@@ -63,7 +65,7 @@ def max_latency(
     route,
     request: MulticastRequest,
     switching: str,
-    params: SwitchingParams = SwitchingParams(),
+    params: SwitchingParams | None = None,
 ) -> float:
     """Worst-case contention-free latency over the destinations."""
     return max(dest_latencies(route, request, switching, params).values())

@@ -9,7 +9,7 @@ plots *additional traffic* = traffic - k.
 from __future__ import annotations
 
 from statistics import mean
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from ..models.request import MulticastRequest, random_multicast
 from ..topology.base import Topology

@@ -45,23 +45,27 @@ class SwitchingParams:
         return self.flit_bytes / self.bandwidth_bytes_per_s
 
 
-def store_and_forward_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+def store_and_forward_latency(distance: int, p: SwitchingParams | None = None) -> float:
     """(L/B)(D+1): each hop buffers the whole packet (§2.2.1)."""
+    p = p or SwitchingParams()
     return p.transmission_time * (distance + 1)
 
 
-def virtual_cut_through_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+def virtual_cut_through_latency(distance: int, p: SwitchingParams | None = None) -> float:
     """(L_h/B)D + L/B: header-pipelined, buffers on blocking (§2.2.2)."""
+    p = p or SwitchingParams()
     return (p.header_bytes / p.bandwidth_bytes_per_s) * distance + p.transmission_time
 
 
-def circuit_switching_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+def circuit_switching_latency(distance: int, p: SwitchingParams | None = None) -> float:
     """(L_c/B)D + L/B: probe establishes a circuit, then bulk transfer (§2.2.3)."""
+    p = p or SwitchingParams()
     return (p.probe_bytes / p.bandwidth_bytes_per_s) * distance + p.transmission_time
 
 
-def wormhole_latency(distance: int, p: SwitchingParams = SwitchingParams()) -> float:
+def wormhole_latency(distance: int, p: SwitchingParams | None = None) -> float:
     """(L_f/B)D + L/B: flit-pipelined, blocks in place (§2.2.4)."""
+    p = p or SwitchingParams()
     return p.flit_time * distance + p.transmission_time
 
 

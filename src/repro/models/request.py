@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..topology.base import Node, Topology
 
@@ -19,7 +19,7 @@ class MulticastRequest:
 
     topology: Topology
     source: Node
-    destinations: tuple = field(default_factory=tuple)
+    destinations: tuple[Node, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         object.__setattr__(self, "destinations", tuple(self.destinations))
@@ -75,7 +75,7 @@ def random_multicast(
     pick = _index_picker(rng, n)
     if source is None:
         source = topology.node_at(pick())
-    chosen: set = set()
+    chosen: set[int] = set()
     src_idx = topology.index(source)
     while len(chosen) < k:
         i = pick()

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..topology.base import Node, Topology
 from .request import MulticastRequest
@@ -43,7 +43,7 @@ class MulticastPath:
     whose node set contains every destination."""
 
     topology: Topology
-    nodes: tuple
+    nodes: tuple[Node, ...]
 
     def __post_init__(self):
         object.__setattr__(self, "nodes", tuple(self.nodes))
@@ -57,7 +57,7 @@ class MulticastPath:
         """Total length (number of channels used)."""
         return len(self.nodes) - 1
 
-    def dest_hops(self, destinations: Sequence[Node]) -> dict:
+    def dest_hops(self, destinations: Sequence[Node]) -> dict[Node, int]:
         """Hops from the source to each destination along the path."""
         pos = {v: i for i, v in enumerate(self.nodes)}
         return {d: pos[d] for d in destinations}
@@ -86,7 +86,7 @@ class MulticastCycle:
     """
 
     topology: Topology
-    nodes: tuple
+    nodes: tuple[Node, ...]
 
     def __post_init__(self):
         object.__setattr__(self, "nodes", tuple(self.nodes))
@@ -99,7 +99,7 @@ class MulticastCycle:
     def traffic(self) -> int:
         return len(self.nodes)  # n-1 path edges plus the closing edge
 
-    def dest_hops(self, destinations: Sequence[Node]) -> dict:
+    def dest_hops(self, destinations: Sequence[Node]) -> dict[Node, int]:
         pos = {v: i for i, v in enumerate(self.nodes)}
         return {d: pos[d] for d in destinations}
 
@@ -129,8 +129,8 @@ class MulticastTree:
 
     topology: Topology
     source: Node
-    arcs: tuple  # ordered (u, v) link traversals
-    virtual_edges: tuple = field(default_factory=tuple)
+    arcs: tuple[tuple[Node, Node], ...]  # ordered (u, v) link traversals
+    virtual_edges: tuple[tuple[Node, Node], ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         object.__setattr__(self, "arcs", tuple(self.arcs))
@@ -140,7 +140,7 @@ class MulticastTree:
     def traffic(self) -> int:
         return len(self.arcs)
 
-    def _hops_from_source(self) -> dict:
+    def _hops_from_source(self) -> dict[Node, int]:
         """Fewest arcs from source to each reached node, following arcs."""
         adj = defaultdict(list)
         for u, v in self.arcs:
@@ -155,7 +155,7 @@ class MulticastTree:
                     frontier.append(v)
         return hops
 
-    def dest_hops(self, destinations: Sequence[Node]) -> dict:
+    def dest_hops(self, destinations: Sequence[Node]) -> dict[Node, int]:
         hops = self._hops_from_source()
         return {d: hops[d] for d in destinations}
 
@@ -188,8 +188,8 @@ class MulticastStar:
 
     topology: Topology
     source: Node
-    paths: tuple  # tuple of node-sequences, each starting at source
-    partition: tuple  # tuple of destination tuples, aligned with paths
+    paths: tuple[tuple[Node, ...], ...]  # tuple of node-sequences, each starting at source
+    partition: tuple[tuple[Node, ...], ...]  # tuple of destination tuples, aligned with paths
 
     def __post_init__(self):
         object.__setattr__(self, "paths", tuple(tuple(p) for p in self.paths))
@@ -199,8 +199,8 @@ class MulticastStar:
     def traffic(self) -> int:
         return sum(len(p) - 1 for p in self.paths)
 
-    def dest_hops(self, destinations: Sequence[Node] | None = None) -> dict:
-        hops: dict = {}
+    def dest_hops(self, destinations: Sequence[Node] | None = None) -> dict[Node, int]:
+        hops: dict[Node, int] = {}
         for path in self.paths:
             for i, v in enumerate(path):
                 if v not in hops or i < hops[v]:
@@ -215,7 +215,7 @@ class MulticastStar:
     def validate(self, request: MulticastRequest) -> None:
         if len(self.paths) != len(self.partition):
             raise InvalidRouteError("paths and partition are misaligned")
-        seen: set = set()
+        seen: set[Node] = set()
         for path, group in zip(self.paths, self.partition):
             if not group:
                 raise InvalidRouteError("empty destination group in star")

@@ -47,6 +47,7 @@ Usage::
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
@@ -54,7 +55,7 @@ import os
 import time
 from dataclasses import dataclass
 from math import sqrt
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from .registry import get as get_spec
 from .sim.config import SimConfig
@@ -273,7 +274,7 @@ def _load_checkpoint(path: str, jobs: Sequence[SweepJob]) -> dict:
     done: dict[int, object] = {}
     if not os.path.exists(path):
         return done
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -384,10 +385,8 @@ def _job_worker(job: SweepJob, queue) -> None:
         payload = (True, result)
     except BaseException as exc:  # noqa: BLE001 - isolate *any* worker failure
         payload = (False, f"{type(exc).__name__}: {exc}")
-    try:
-        queue.put(payload)
-    except Exception:
-        pass  # queue gone: the supervisor records a crash
+    with contextlib.suppress(Exception):
+        queue.put(payload)  # queue gone: the supervisor records a crash
 
 
 def _run_supervised(
@@ -408,7 +407,12 @@ def _run_supervised(
     if checkpoint is not None and resume:
         results.update(_load_checkpoint(checkpoint, jobs))
 
-    ckpt_fh = open(checkpoint, "a", encoding="utf-8") if checkpoint else None
+    exits = contextlib.ExitStack()
+    ckpt_fh = (
+        exits.enter_context(open(checkpoint, "a", encoding="utf-8"))
+        if checkpoint
+        else None
+    )
     pending: list[tuple[int, int]] = [
         (i, 0) for i in range(len(jobs)) if i not in results
     ]
@@ -493,8 +497,7 @@ def _run_supervised(
             process.terminate()
             process.join()
             queue.close()
-        if ckpt_fh is not None:
-            ckpt_fh.close()
+        exits.close()
 
     if failed and on_error == "raise":
         raise SweepError([failed[i] for i in sorted(failed)])

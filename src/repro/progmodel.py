@@ -23,7 +23,7 @@ program sketch versus a hardware-supported multicast primitive (see
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 from .models.request import MulticastRequest
 from .sim.config import SimConfig

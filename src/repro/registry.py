@@ -42,8 +42,8 @@ is one decorated function, not five edited files::
 from __future__ import annotations
 
 import difflib
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping
 
 __all__ = [
     "KINDS",
@@ -119,7 +119,7 @@ class AlgorithmSpec:
     #: ``None`` for schemes that exist only as worm mechanisms.
     fn: Callable | None = None
     #: supported topology family keys; empty tuple = any topology.
-    topologies: tuple = ()
+    topologies: tuple[str, ...] = ()
     #: one of :data:`RESULT_MODELS`, or ``None``.
     result_model: str | None = None
     #: worm-injection mechanism the simulator's Router dispatches on;
@@ -141,7 +141,7 @@ class AlgorithmSpec:
     #: dissertation / paper reference.
     reference: str = ""
     #: alternative names resolving to this same spec.
-    aliases: tuple = ()
+    aliases: tuple[str, ...] = ()
     #: family parameters of a resolved parametric instance
     #: (e.g. ``{"planes": 4}``).
     params: Mapping = field(default_factory=dict)
@@ -160,6 +160,17 @@ class AlgorithmSpec:
                     f"{self.name}: unknown topology family {fam!r} "
                     f"(expected one of {TOPOLOGY_FAMILIES})"
                 )
+        if self.deadlock_free and self.cdg_certificate is None:
+            # Hard conformance rule (PR 4): a deadlock-freedom claim is
+            # only admissible with a machine-checkable CDG hook behind
+            # it — `python -m repro certify` turns the hook into an
+            # acyclicity certificate artifact, and CI refuses specs
+            # whose certificate fails.
+            raise ValueError(
+                f"{self.name}: deadlock_free=True requires a cdg_certificate "
+                "hook (Dally & Seitz acyclicity must be machine-checkable; "
+                "see docs/VERIFICATION.md)"
+            )
 
     @property
     def routable(self) -> bool:
@@ -330,7 +341,7 @@ def get(name: str) -> AlgorithmSpec:
     raise UnknownSchemeError(name, known_names())
 
 
-def known_names(include_aliases: bool = True) -> list:
+def known_names(include_aliases: bool = True) -> list[str]:
     """Every resolvable name: canonical names, aliases, and family
     display names (``virtual-channel-<p>``)."""
     _ensure_loaded()
@@ -349,7 +360,7 @@ def specs(
     worm_style: str | None = None,
     fault_tolerant: bool | None = None,
     include_families: bool = True,
-) -> list:
+) -> list[AlgorithmSpec]:
     """The registered specs matching every given capability filter,
     sorted by name.  ``topology`` accepts a family key or an instance;
     family templates are included unless ``include_families=False``."""
@@ -375,7 +386,7 @@ def specs(
     return sorted(out, key=lambda s: s.name)
 
 
-def names(**filters) -> list:
+def names(**filters) -> list[str]:
     """Registered scheme names matching the :func:`specs` filters."""
     return [s.name for s in specs(**filters)]
 
@@ -405,10 +416,18 @@ def _flag(value: bool | None) -> str:
     return "n/a" if value is None else ("yes" if value else "no")
 
 
-def scheme_table_rows() -> list:
+def scheme_table_rows() -> list[tuple[str, ...]]:
     """One row per registered scheme (families as their display name):
-    ``(name+aliases, kind, topologies, deadlock-free, fault-tolerant,
-    reference)``."""
+    ``(name+aliases, kind, topologies, deadlock-free, certified,
+    fault-tolerant, reference)``.
+
+    The *certified* column is computed by actually running the PR-4
+    deadlock certifier (:func:`repro.analysis.certify.certificate_status`)
+    on the smallest representative topology — the table states what was
+    machine-checked, not what was declared.
+    """
+    from .analysis.certify import certificate_status
+
     rows = []
     for spec in specs():
         name = spec.name
@@ -418,8 +437,11 @@ def scheme_table_rows() -> list:
         deadlock = _flag(spec.deadlock_free)
         if spec.deadlock_free and spec.min_channels > 1:
             deadlock += f" ({spec.min_channels}x channels)"
+        certified = certificate_status(spec)
         fault = _flag(spec.fault_tolerant if spec.kind == "dynamic-worm" else None)
-        rows.append((name, spec.kind, topologies, deadlock, fault, spec.reference))
+        rows.append(
+            (name, spec.kind, topologies, deadlock, certified, fault, spec.reference)
+        )
     return rows
 
 
@@ -427,11 +449,13 @@ def scheme_table_markdown() -> str:
     """The registry as a GitHub-flavored markdown table (embedded in
     README.md; a conformance test keeps the two in sync)."""
     lines = [
-        "| scheme | kind | topologies | deadlock-free | fault-tolerant | reference |",
-        "|---|---|---|---|---|---|",
+        "| scheme | kind | topologies | deadlock-free | certified | "
+        "fault-tolerant | reference |",
+        "|---|---|---|---|---|---|---|",
     ]
-    for name, kind, topologies, deadlock, fault, reference in scheme_table_rows():
+    for name, kind, topologies, deadlock, certified, fault, reference in scheme_table_rows():
         lines.append(
-            f"| `{name}` | {kind} | {topologies} | {deadlock} | {fault} | {reference} |"
+            f"| `{name}` | {kind} | {topologies} | {deadlock} | {certified} "
+            f"| {fault} | {reference} |"
         )
     return "\n".join(lines)

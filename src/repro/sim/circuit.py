@@ -18,7 +18,7 @@ probe's channel dependencies acyclic.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from .network import WormholeNetwork
 
@@ -70,7 +70,7 @@ class CircuitMessage:
         # and deliver as the tail passes.
         transfer = self.net.config.message_time
         tf = self.net.config.flit_time
-        for i, ch in enumerate(self.channels):
+        for i in range(len(self.channels)):
             self.env.schedule(transfer + (i + 1) * tf, self._release, i)
         self.env.schedule(transfer + len(self.channels) * tf, self._finished)
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from .config import SimConfig
 from .kernel import Environment

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Generator, Iterable
+from collections.abc import Callable, Generator, Iterable
 
 
 class Event:

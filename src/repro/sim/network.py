@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 from .config import SimConfig
 from .kernel import Environment

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from .config import SimConfig
 from .kernel import Environment

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import sqrt
 from statistics import mean, stdev
-from typing import Sequence
+from collections.abc import Sequence
 
 #: two-sided 95% Student-t quantiles, t_{0.975, df}, for df = 1..30.
 _T975 = [

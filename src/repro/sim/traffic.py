@@ -26,7 +26,7 @@ dispatch:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..heuristics.xfirst import xfirst_route
 from ..labeling import canonical_labeling

@@ -16,7 +16,7 @@ underlying route set is.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from .network import WormholeNetwork
 

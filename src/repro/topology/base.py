@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
-from typing import Hashable, Iterable, Iterator, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 
 Node = Hashable
 Channel = tuple[Node, Node]
@@ -126,14 +126,14 @@ class Topology(ABC):
             nodes = self._node_list = list(self.nodes())
         return nodes
 
-    def index_map(self) -> dict:
+    def index_map(self) -> dict[Node, int]:
         """Mapping from node address to dense index (cached)."""
         imap = getattr(self, "_index_map", None)
         if imap is None:
             imap = self._index_map = {v: i for i, v in enumerate(self.node_list())}
         return imap
 
-    def neighbor_table(self) -> tuple:
+    def neighbor_table(self) -> tuple[Sequence[Node], ...]:
         """``neighbor_table()[i]`` is ``neighbors(node_at(i))`` (cached)."""
         table = getattr(self, "_neighbor_table", None)
         if table is None:
@@ -142,7 +142,7 @@ class Topology(ABC):
             )
         return table
 
-    def neighbor_indices(self) -> tuple:
+    def neighbor_indices(self) -> tuple[tuple[int, ...], ...]:
         """``neighbor_indices()[i]`` holds the dense indices of the
         neighbors of ``node_at(i)`` (cached)."""
         table = getattr(self, "_neighbor_indices", None)

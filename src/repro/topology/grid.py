@@ -12,7 +12,7 @@ solvers the test-suite uses to validate the reductions.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 Point = tuple[int, int]
 

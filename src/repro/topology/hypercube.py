@@ -7,7 +7,7 @@ distance is the Hamming distance ``||b(u) XOR b(v)||``.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from .base import Node, Topology
 

@@ -9,7 +9,7 @@ cases of this family.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterator
+from collections.abc import Iterator
 
 from .base import Node, Topology
 
@@ -34,8 +34,7 @@ class KAryNCube(Topology):
 
     def nodes(self) -> Iterator[Node]:
         # Last coordinate varies fastest, matching index().
-        for digits in product(range(self.k), repeat=self.n):
-            yield digits
+        yield from product(range(self.k), repeat=self.n)
 
     def is_node(self, v: Node) -> bool:
         return (

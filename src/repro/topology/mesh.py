@@ -9,7 +9,7 @@ dissertation evaluates on.  The 3D mesh extends it with a z coordinate
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from .base import Node, Topology
 

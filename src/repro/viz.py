@@ -11,7 +11,7 @@ route, ``.`` unused node; used links are drawn with ``-`` / ``|``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from .models.request import MulticastRequest
 from .models.results import MulticastCycle, MulticastPath, MulticastStar, MulticastTree

@@ -21,7 +21,7 @@ patterns matching the dissertation's motivating workloads (§1.1):
 from __future__ import annotations
 
 import random
-from typing import Callable
+from collections.abc import Callable
 
 from .models.request import MulticastRequest
 from .topology.base import Node, Topology

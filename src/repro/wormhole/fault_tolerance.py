@@ -13,7 +13,8 @@ precisely the trade-off the benchmark quantifies.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import contextlib
+from collections.abc import Iterable, Sequence
 
 from ..labeling import canonical_labeling
 from ..labeling.base import Labeling
@@ -130,9 +131,7 @@ def routability(
         labeling = canonical_labeling(topology)
     ok = 0
     for request in requests:
-        try:
+        with contextlib.suppress(Unroutable):
             fault_tolerant_dual_path(request, faulty, labeling)
             ok += 1
-        except Unroutable:
-            pass
     return ok / len(requests) if requests else 1.0

@@ -12,7 +12,7 @@ dependency graph is acyclic, all three algorithms are deadlock-free
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..labeling import canonical_labeling
 from ..labeling.base import Labeling
@@ -131,10 +131,11 @@ def _multi_path_groups_mesh(
         vertical = [v for v in neighbors if v[1] != src[1]]
         if horizontal and vertical:
             vh = horizontal[0]
-            if vh[0] > x0:
-                side = [d for d in dlist if d[0] >= vh[0]]
-            else:
-                side = [d for d in dlist if d[0] <= vh[0]]
+            side = (
+                [d for d in dlist if d[0] >= vh[0]]
+                if vh[0] > x0
+                else [d for d in dlist if d[0] <= vh[0]]
+            )
             rest = [d for d in dlist if d not in side]
             if side:
                 groups.append((vh, side))
@@ -198,10 +199,11 @@ def multi_path_route(
     if labeling is None:
         labeling = canonical_labeling(request.topology)
     topo = request.topology
-    if isinstance(topo, Mesh2D):
-        groups = _multi_path_groups_mesh(request, labeling)
-    else:
-        groups = _multi_path_groups_by_interval(request, labeling)
+    groups = (
+        _multi_path_groups_mesh(request, labeling)
+        if isinstance(topo, Mesh2D)
+        else _multi_path_groups_by_interval(request, labeling)
+    )
     paths, partition = [], []
     for first_hop, dlist in groups:
         # the source forwards the sublist to the designated neighbor,

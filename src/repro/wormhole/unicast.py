@@ -12,7 +12,7 @@ adaptive counterexamples.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..topology.base import Node, Topology
 from ..topology.hypercube import Hypercube

@@ -21,7 +21,7 @@ latency trades against the hot-spot effect as p grows.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..labeling import canonical_labeling
 from ..labeling.base import Labeling

@@ -1,0 +1,178 @@
+"""The deadlock certifier: certificates, refutations, artifacts."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import registry
+from repro.analysis.certify import (
+    Certificate,
+    CertificationError,
+    Counterexample,
+    certificate_status,
+    certify_all,
+    certify_claim,
+    certify_spec,
+    fig_6_1_counterexample,
+    fig_6_4_counterexample,
+    load_artifact,
+    refute,
+    verify_counterexample,
+)
+from repro.models.request import MulticastRequest
+from repro.topology import Mesh2D
+
+
+def _smallest_rep(spec):
+    from repro.analysis.certify import REPRESENTATIVE_TOPOLOGIES
+
+    families = spec.topologies or ("mesh2d", "hypercube")
+    return REPRESENTATIVE_TOPOLOGIES[families[0]][0]
+
+
+def test_every_deadlock_free_spec_certifies():
+    checked = 0
+    for spec in registry.specs(deadlock_free=True):
+        cert = certify_claim(spec, _smallest_rep(spec))
+        assert isinstance(cert, Certificate), spec.name
+        if spec.name != "vct-tree":  # VCT buffers packets: empty CDG
+            assert cert.order, spec.name
+        checked += 1
+    assert checked >= 5  # dual-path family, fixed/multi-path, vct, xfirst-tree
+
+
+def test_certificate_round_trip(tmp_path):
+    for spec in registry.specs(deadlock_free=True, include_families=False):
+        cert = certify_claim(spec, _smallest_rep(spec))
+        path = tmp_path / cert.filename
+        path.write_text(json.dumps(cert.to_json()))
+        loaded = load_artifact(path)
+        assert isinstance(loaded, Certificate)
+        assert loaded == cert
+        loaded.revalidate()  # recomputes the CDG and re-checks the order
+
+
+def test_stale_certificate_is_detected():
+    spec = registry.get("dual-path")
+    cert = certify_claim(spec, _smallest_rep(spec))
+    stale = dataclasses.replace(cert, edge_digest="0" * 64)
+    with pytest.raises(CertificationError, match="stale"):
+        stale.revalidate()
+    # a corrupted order is caught even with the right digest
+    broken = dataclasses.replace(cert, order=tuple(reversed(cert.order)))
+    with pytest.raises(CertificationError, match="order"):
+        broken.revalidate()
+
+
+def test_fig_6_1_refutation():
+    cx = fig_6_1_counterexample()
+    assert cx.scheme == "ecube-tree"
+    assert cx.construction == "fig-6.1"
+    assert cx.cycle[0] == cx.cycle[-1] and len(cx.cycle) >= 3
+    assert len(cx.witnesses) == 2  # both broadcasts are needed
+    verify_counterexample(cx)
+
+
+def test_fig_6_4_refutation_is_the_known_two_channel_cycle():
+    cx = fig_6_4_counterexample()
+    assert cx.scheme == "xfirst"
+    assert cx.construction == "fig-6.4"
+    assert set(cx.cycle) == {"((1, 1), (0, 1))", "((2, 1), (3, 1))"}
+    assert len(cx.cycle) == 3  # the minimized 2-cycle, closed
+    verify_counterexample(cx)
+
+
+def test_refutation_round_trip(tmp_path):
+    cx = fig_6_4_counterexample()
+    path = tmp_path / cx.filename
+    path.write_text(json.dumps(cx.to_json()))
+    loaded = load_artifact(path)
+    assert isinstance(loaded, Counterexample)
+    assert loaded == cx
+    verify_counterexample(loaded)
+
+
+def test_refute_requires_a_cyclic_cdg():
+    mesh = Mesh2D(4, 3)
+    # a single X-first multicast cannot deadlock with itself
+    req = MulticastRequest(mesh, (0, 0), ((3, 2),))
+    with pytest.raises(CertificationError, match="acyclic"):
+        refute("xfirst", "mesh:4x3", [req])
+
+
+def test_refute_minimizes_the_witness_set():
+    mesh = Mesh2D(4, 3)
+    # the two Fig. 6.4 witnesses plus two irrelevant multicasts: the
+    # greedy minimization must drop the extras
+    extras = [
+        MulticastRequest(mesh, (0, 0), ((1, 0),)),
+        MulticastRequest(mesh, (3, 2), ((2, 2),)),
+    ]
+    cx = refute(
+        "xfirst",
+        "mesh:4x3",
+        extras
+        + [
+            MulticastRequest(mesh, (1, 1), ((0, 2), (3, 1))),
+            MulticastRequest(mesh, (2, 1), ((0, 1), (3, 0))),
+        ],
+    )
+    assert len(cx.witnesses) == 2
+    verify_counterexample(cx)
+
+
+def test_certify_spec_refutes_false_claims():
+    spec = registry.get("ecube-tree")
+    assert spec.deadlock_free is False
+    artifacts = certify_spec(spec)
+    assert len(artifacts) == 1
+    assert isinstance(artifacts[0], Counterexample)
+
+
+def test_certify_all_writes_artifacts(tmp_path):
+    artifacts, failures = certify_all(["dual-path", "ecube-tree"], out_dir=tmp_path)
+    assert failures == []
+    kinds = {a.kind for a in artifacts}
+    assert kinds == {"acyclicity-certificate", "deadlock-counterexample"}
+    for artifact in artifacts:
+        loaded = load_artifact(tmp_path / artifact.filename)
+        assert loaded == artifact
+
+
+def test_committed_artifacts_are_current():
+    # the repository's checked-in certificates must re-validate against
+    # the code as it is now (stale artifacts fail CI)
+    from pathlib import Path
+
+    cert_dir = Path(__file__).parent.parent / "analysis" / "certificates"
+    assert cert_dir.is_dir(), "analysis/certificates/ is missing"
+    count = 0
+    for path in sorted(cert_dir.glob("*.json")):
+        artifact = load_artifact(path)
+        if isinstance(artifact, Certificate):
+            # revalidating every large CDG is slow; spot-check small ones
+            if len(artifact.order) <= 200:
+                artifact.revalidate()
+        else:
+            verify_counterexample(artifact)
+        count += 1
+    assert count >= 20
+
+
+def test_deadlock_free_claim_requires_certificate_hook():
+    with pytest.raises(ValueError, match="cdg_certificate"):
+        registry.AlgorithmSpec(
+            name="bogus-claim",
+            kind="dynamic-worm",
+            worm_style="star",
+            deadlock_free=True,
+        )
+
+
+def test_certificate_status_in_scheme_table():
+    assert certificate_status(registry.get("dual-path")) == "certified"
+    assert certificate_status(registry.get("ecube-tree")) == "refuted"
+    assert certificate_status(registry.get("kmb")) == "n/a"
+    table = registry.scheme_table_markdown()
+    assert "| certified |" in table.splitlines()[0]

@@ -1,0 +1,99 @@
+"""The deterministic graph core behind the static analyses."""
+
+import random
+
+import pytest
+
+from repro.analysis.graph import (
+    CycleError,
+    find_cycle,
+    is_acyclic,
+    shortest_cycle,
+    topological_order,
+    validate_cycle,
+)
+
+
+def _chain(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+def test_topological_order_is_a_certificate():
+    edges = [("a", "b"), ("b", "c"), ("a", "c"), ("d", "b")]
+    order = topological_order(edges)
+    pos = {v: i for i, v in enumerate(order)}
+    assert set(order) == {"a", "b", "c", "d"}
+    for a, b in edges:
+        assert pos[a] < pos[b]
+
+
+def test_topological_order_includes_isolated_nodes():
+    order = topological_order([(1, 2)], nodes=[5, 3])
+    assert set(order) == {1, 2, 3, 5}
+
+
+def test_topological_order_raises_with_shortest_cycle():
+    edges = _chain(6) + [(5, 0), (2, 1)]  # 6-cycle and a 2-cycle
+    with pytest.raises(CycleError) as exc:
+        topological_order(edges)
+    assert exc.value.cycle == [1, 2, 1]
+
+
+def test_is_acyclic():
+    assert is_acyclic(_chain(10))
+    assert not is_acyclic(_chain(10) + [(9, 0)])
+    assert is_acyclic([])
+
+
+def test_shortest_cycle_none_on_dag():
+    assert shortest_cycle(_chain(8)) is None
+    assert find_cycle([("x", "y")]) is None
+
+
+def test_shortest_cycle_is_minimal():
+    # a long cycle plus an embedded short one: the short one is found
+    edges = _chain(20) + [(19, 0), (7, 4)]  # 20-cycle and 4->..->7->4
+    cycle = shortest_cycle(edges)
+    assert cycle == [4, 5, 6, 7, 4]
+    assert validate_cycle(cycle, edges)
+
+
+def test_shortest_cycle_self_loop():
+    assert shortest_cycle([(1, 2), (2, 2)]) == [2, 2]
+
+
+def test_determinism_under_edge_shuffling():
+    base = [(i, (i * 7 + 3) % 23) for i in range(23)] + [(4, 4 + 1), (9, 2)]
+    expected = shortest_cycle(base)
+    rng = random.Random(7)
+    for _ in range(10):
+        shuffled = base[:]
+        rng.shuffle(shuffled)
+        assert shortest_cycle(shuffled) == expected
+        assert topological_order(_chain(9)) == topological_order(list(reversed(_chain(9))))
+
+
+def test_validate_cycle_rejects_non_cycles():
+    edges = [(1, 2), (2, 3), (3, 1)]
+    assert validate_cycle([1, 2, 3, 1], edges)
+    assert not validate_cycle([1, 3, 2, 1], edges)  # wrong direction
+    assert not validate_cycle([1, 2, 3], edges)  # not closed
+    assert not validate_cycle([1], edges)  # too short
+
+
+def test_wormhole_cdg_reexports_the_analysis_core():
+    from repro.analysis import graph
+    from repro.wormhole import cdg
+
+    assert cdg.is_acyclic is graph.is_acyclic
+    assert cdg.find_cycle is graph.find_cycle
+    assert cdg.shortest_cycle is graph.shortest_cycle
+
+
+def test_fig_6_4_cycle_is_the_two_channel_cycle():
+    # the historical call site: find_cycle over the Fig. 6.4 CDG now
+    # reports exactly the minimized two-channel deadlock
+    from repro.wormhole.cdg import fig_6_4_xfirst_deadlock_cdg
+
+    cycle = find_cycle(fig_6_4_xfirst_deadlock_cdg())
+    assert cycle == [((1, 1), (0, 1)), ((2, 1), (3, 1)), ((1, 1), (0, 1))]

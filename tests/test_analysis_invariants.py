@@ -1,0 +1,144 @@
+"""The routing-invariant checkers."""
+
+from repro import registry
+from repro.analysis.invariants import (
+    check_label_monotonicity,
+    check_partition_soundness,
+    check_quadrant_coverage,
+    check_reachability,
+    check_spec_invariants,
+    sample_requests,
+)
+from repro.labeling import canonical_labeling
+from repro.models.request import MulticastRequest
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+
+SMALL = {
+    "mesh2d": Mesh2D(4, 4),
+    "mesh3d": Mesh3D(3, 3, 2),
+    "hypercube": Hypercube(3),
+    "torus": KAryNCube(4, 2),
+}
+
+
+def test_all_registered_schemes_satisfy_their_invariants():
+    checked = 0
+    for spec in registry.specs(include_families=False):
+        if spec.kind == "exact" or not (spec.routable or spec.simulable):
+            continue
+        for family in spec.topologies or ("mesh2d", "hypercube"):
+            topology = SMALL.get(family)
+            if topology is None:
+                continue
+            violations = check_spec_invariants(spec, topology)
+            assert violations == [], [str(v) for v in violations]
+            checked += 1
+    assert checked >= 15
+
+
+def test_sample_requests_are_deterministic():
+    mesh = Mesh2D(4, 4)
+    a = sample_requests(mesh)
+    b = sample_requests(mesh)
+    assert [(r.source, r.destinations) for r in a] == [
+        (r.source, r.destinations) for r in b
+    ]
+    assert any(len(r.destinations) == mesh.num_nodes - 1 for r in a)  # broadcast
+
+
+def test_label_monotonicity_flags_a_wandering_path():
+    mesh = Mesh2D(4, 3)
+    labeling = canonical_labeling(mesh)
+
+    class WanderingSpec:
+        name = "wandering"
+
+        @staticmethod
+        def fn(request):
+            # a path that goes up then comes back: labels rise then fall
+            from repro.models.results import MulticastStar
+
+            return MulticastStar(
+                topology=mesh,
+                source=(0, 0),
+                paths=(((0, 0), (1, 0), (2, 0), (1, 0)),),
+                partition=(((1, 0),),),
+            )
+
+    violations = check_label_monotonicity(
+        WanderingSpec, mesh, [MulticastRequest(mesh, (0, 0), ((1, 0),))], labeling
+    )
+    assert violations and violations[0].invariant == "label-monotonicity"
+
+
+def test_reachability_flags_missed_destinations():
+    mesh = Mesh2D(3, 3)
+
+    class ShortSpec:
+        name = "short"
+
+        @staticmethod
+        def fn(request):
+            from repro.heuristics.xfirst import xfirst_route
+
+            # route to the first destination only
+            return xfirst_route(
+                MulticastRequest(request.topology, request.source, request.destinations[:1])
+            )
+
+    req = MulticastRequest(mesh, (0, 0), ((2, 2), (0, 2)))
+    violations = check_reachability(ShortSpec, mesh, [req])
+    assert violations
+    assert any(v.invariant == "reachability" for v in violations)
+
+
+def test_partition_soundness_on_canonical_labelings():
+    for topology in SMALL.values():
+        assert check_partition_soundness(canonical_labeling(topology)) == []
+
+
+def test_partition_soundness_flags_a_broken_labeling():
+    mesh = Mesh2D(3, 3)
+    good = canonical_labeling(mesh)
+
+    class Shuffled:
+        """A non-Hamiltonian assignment: two labels swapped."""
+
+        topology = mesh
+
+        def label(self, v):
+            x = good.label(v)
+            return {0: 4, 4: 0}.get(x, x)
+
+        def is_hamiltonian(self):
+            swapped = sorted(mesh.nodes(), key=self.label)
+            return all(
+                mesh.are_adjacent(a, b) for a, b in zip(swapped, swapped[1:])
+            )
+
+        def high_channels(self):
+            return [
+                (u, v) for u, v in mesh.channels() if self.label(u) < self.label(v)
+            ]
+
+        def low_channels(self):
+            return [
+                (u, v) for u, v in mesh.channels() if self.label(u) > self.label(v)
+            ]
+
+    violations = check_partition_soundness(Shuffled())
+    assert any(v.invariant == "partition-soundness" for v in violations)
+
+
+def test_quadrant_coverage():
+    assert check_quadrant_coverage(Mesh2D(4, 3)) == []
+    assert check_quadrant_coverage(Mesh2D(5, 5)) == []
+
+
+def test_vc_layering_on_registered_specs():
+    # every tagged certificate in the registry keeps layers disjoint
+    from repro.analysis.invariants import check_vc_layering
+
+    spec = registry.get("virtual-channel-2")
+    assert check_vc_layering(spec, Mesh2D(4, 3)) == []
+    assert check_vc_layering(registry.get("xfirst-tree"), Mesh2D(4, 3)) == []

@@ -1,0 +1,158 @@
+"""The repo-specific AST lint pass and its plugin rule API."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.lint import LintFinding, lint_file, lint_paths, rule, rules
+
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def _lint_source(tmp_path, source, select=None):
+    path = tmp_path / "snippet.py"
+    path.write_text(source)
+    return lint_file(path, root=tmp_path, select=select)
+
+
+def test_package_source_is_clean():
+    assert lint_paths([SRC]) == []
+
+
+def test_rules_are_registered():
+    ids = [r.id for r in rules()]
+    assert ids == sorted(ids)
+    assert {
+        "no-bare-except",
+        "no-legacy-environment",
+        "no-registry-bypass",
+        "no-unseeded-rng",
+    } <= set(ids)
+
+
+def test_no_registry_bypass_fires(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        'def f(scheme):\n    if scheme == "dual-path":\n        return 1\n',
+        select=["no-registry-bypass"],
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "no-registry-bypass"
+    assert "dual-path" in findings[0].message
+
+
+def test_no_registry_bypass_allows_non_scheme_strings(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        'def f(x):\n    return x == "not-a-scheme-name"\n',
+        select=["no-registry-bypass"],
+    )
+    assert findings == []
+
+
+def test_no_unseeded_rng_fires(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "import random\n"
+        "r = random.Random()\n"
+        "x = random.randint(0, 3)\n"
+        "from random import shuffle\n",
+        select=["no-unseeded-rng"],
+    )
+    assert len(findings) == 3
+    assert all(f.rule == "no-unseeded-rng" for f in findings)
+
+
+def test_no_unseeded_rng_allows_seeded(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "import random\nr = random.Random(42)\nx = r.randint(0, 3)\n",
+        select=["no-unseeded-rng"],
+    )
+    assert findings == []
+
+
+def test_no_legacy_environment_fires(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "from repro.sim.kernel import LegacyEnvironment\nenv = LegacyEnvironment()\n",
+        select=["no-legacy-environment"],
+    )
+    assert len(findings) == 2
+
+
+def test_no_bare_except_fires(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "try:\n    pass\nexcept:\n    pass\n",
+        select=["no-bare-except"],
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "no-bare-except"
+
+
+def test_suppression_comment(tmp_path):
+    src = "try:\n    pass\nexcept:  # lint: ignore[no-bare-except]\n    pass\n"
+    assert _lint_source(tmp_path, src, select=["no-bare-except"]) == []
+    blanket = "try:\n    pass\nexcept:  # lint: ignore\n    pass\n"
+    assert _lint_source(tmp_path, blanket, select=["no-bare-except"]) == []
+    other = "try:\n    pass\nexcept:  # lint: ignore[no-unseeded-rng]\n    pass\n"
+    assert len(_lint_source(tmp_path, other, select=["no-bare-except"])) == 1
+
+
+def test_syntax_errors_are_reported_not_raised(tmp_path):
+    findings = _lint_source(tmp_path, "def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+
+
+def test_plugin_rule_api(tmp_path):
+    import ast
+
+    @rule("no-print", "print() is reserved for the CLI front end")
+    def no_print(ctx):
+        for node in ctx.walk(ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield node, "print() call"
+
+    try:
+        findings = _lint_source(tmp_path, 'print("hi")\n', select=["no-print"])
+        assert len(findings) == 1
+        assert findings[0].rule == "no-print"
+        # duplicate registration is rejected
+        with pytest.raises(ValueError, match="already registered"):
+            rule("no-print", "dup")(lambda ctx: ())
+    finally:
+        lint._RULES.pop("no-print", None)
+
+
+def test_findings_are_sorted_and_printable(tmp_path):
+    a = tmp_path / "a.py"
+    a.write_text("try:\n    pass\nexcept:\n    pass\n")
+    b = tmp_path / "b.py"
+    b.write_text("import random\nrandom.shuffle([])\n")
+    findings = lint_paths([tmp_path])
+    assert findings == sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    rendered = str(findings[0])
+    assert str(a) in rendered and ":3:" in rendered
+
+
+def test_cli_lint_exit_codes(tmp_path):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    assert main(["lint", str(bad)]) == 1
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert main(["lint", str(good)]) == 0
+    assert main(["lint", "--list-rules"]) == 0
+
+
+def test_lint_finding_shape():
+    f = LintFinding("p.py", 3, 0, "r", "m")
+    assert str(f) == "p.py:3:0: r m"

@@ -32,7 +32,7 @@ class TestBarrier:
 
         mc, times = run_collective(make)
         slowest = max(arrival_delay.values())
-        for m, t in times.items():
+        for t in times.values():
             assert t >= slowest
 
     def test_barrier_release_near_simultaneous(self):

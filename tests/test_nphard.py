@@ -91,7 +91,7 @@ class TestMeshReductions:
     def test_embedding_contains_grid(self):
         g = GridGraph([(5, 5), (6, 5), (6, 6)])
         mesh, translate = embed_grid_in_mesh(g)
-        for v, tv in translate.items():
+        for tv in translate.values():
             assert mesh.is_node(tv)
 
     @pytest.mark.parametrize("w,h", [(2, 2), (3, 2), (2, 3)])

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import json
 import os
+from pathlib import Path
 import signal
 import subprocess
 import sys
@@ -146,7 +147,7 @@ class TestCheckpointResume:
         ck = str(tmp_path / "sweep.jsonl")
         jobs = _jobs(3)
         results = run_sweep(jobs, workers=1, checkpoint=ck)
-        records = [json.loads(line) for line in open(ck)]
+        records = [json.loads(line) for line in Path(ck).read_text().splitlines()]
         assert sorted(r["index"] for r in records) == [0, 1, 2]
         for record in records:
             assert record["key"] == _job_key(jobs[record["index"]])
@@ -162,7 +163,7 @@ class TestCheckpointResume:
         jobs = _jobs(5)
 
         run_sweep(jobs[:2] + [jobs[2]], workers=1, checkpoint=ck)  # 3 done
-        assert sum(1 for _ in open(ck)) == 3
+        assert len(Path(ck).read_text().splitlines()) == 3
 
         real = parallel._run_job
 
@@ -176,16 +177,16 @@ class TestCheckpointResume:
         monkeypatch.setattr(parallel, "_run_job", counting)
         results = run_sweep(jobs, workers=2, checkpoint=ck, resume=True)
         assert all(r is not None for r in results)
-        ran = {int(s) for s in open(marker).read().split()}
+        ran = {int(s) for s in Path(marker).read_text().split()}
         # exactly the two non-checkpointed replications ran
         assert ran == {jobs[3].config.seed, jobs[4].config.seed}
-        assert sum(1 for _ in open(ck)) == 5
+        assert len(Path(ck).read_text().splitlines()) == 5
 
     def test_resume_ignores_mismatched_and_corrupt_records(self, tmp_path):
         ck = str(tmp_path / "sweep.jsonl")
         jobs = _jobs(2)
         run_sweep(jobs, workers=1, checkpoint=ck)
-        lines = open(ck).read().splitlines()
+        lines = Path(ck).read_text().splitlines()
         # a stale record (different config), garbage, and a truncated
         # tail — the signature of a crash mid-write
         stale = json.loads(lines[0])
@@ -237,7 +238,7 @@ print("COMPLETE", sum(1 for r in results if r is not None))
         )
         deadline = time.monotonic() + 60
         while time.monotonic() < deadline:
-            if os.path.exists(ck) and sum(1 for _ in open(ck)) >= 2:
+            if os.path.exists(ck) and len(Path(ck).read_text().splitlines()) >= 2:
                 break
             if victim.poll() is not None:
                 pytest.fail("sweep finished before it could be killed")
@@ -247,9 +248,9 @@ print("COMPLETE", sum(1 for r in results if r is not None))
         victim.send_signal(signal.SIGKILL)
         victim.wait()
 
-        done_before = sum(1 for _ in open(ck))
+        done_before = len(Path(ck).read_text().splitlines())
         assert done_before >= 2
-        seeds_before = {int(s) for s in open(marker).read().split()}
+        seeds_before = {int(s) for s in Path(marker).read_text().split()}
 
         resumed = subprocess.run(
             [sys.executable, "-c", script, "--resume"],
@@ -261,11 +262,11 @@ print("COMPLETE", sum(1 for r in results if r is not None))
         assert resumed.returncode == 0, resumed.stderr
         assert "COMPLETE 6" in resumed.stdout
         # checkpointed replications were NOT re-run after the kill
-        seeds_after = {int(s) for s in open(marker).read().split()}
+        seeds_after = {int(s) for s in Path(marker).read_text().split()}
         rerun = seeds_after - seeds_before
         assert len(seeds_after) <= 6
         checkpointed = {
-            json.loads(line)["index"] for line in open(ck) if line.strip()
+            json.loads(line)["index"] for line in Path(ck).read_text().splitlines() if line.strip()
         }
         assert checkpointed == set(range(6))
         assert len(rerun) <= 6 - done_before
