@@ -29,7 +29,8 @@ registrations appear in ``route --algorithm`` choices and the
 Exit codes: 0 success, 1 analysis findings (``certify`` / ``lint``),
 2 usage errors (unknown scheme, bad node, ...), 3 no fault-avoiding
 route exists (:class:`Unroutable`, the blocking channel is named on
-stderr).
+stderr), 4 an exact solver exceeded its ``--budget`` node-expansion
+limit (:class:`repro.exact.SearchBudgetExceeded`).
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ import argparse
 import sys
 
 from . import registry
+from .exact.errors import SearchBudgetExceeded
 from .models.request import MulticastRequest
 from .topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
 from .wormhole.fault_tolerance import Unroutable
@@ -82,12 +84,12 @@ def parse_node(topology, text: str):
 
 def _route_choices() -> list:
     """Schemes offered to ``route --algorithm``: every registered spec
-    with a constructive route function (exact solvers are exponential
-    tools, listed by ``algorithms`` but not offered here)."""
+    with a constructive route function, the exact branch-and-bound
+    solvers included (their exponential searches are kept honest by the
+    ``--budget`` node-expansion limit)."""
     return [
         spec.name
         for spec in registry.specs(routable=True, include_families=False)
-        if spec.kind != "exact"
     ]
 
 
@@ -134,7 +136,23 @@ def cmd_route(args) -> int:
             return 2
         route = spec.fault_route(request, faults)
     else:
-        route = spec.fn(request)
+        kwargs = {}
+        if args.budget is not None:
+            if "budget" not in spec.tunables:
+                print(
+                    f"{spec.name} has no search budget "
+                    "(--budget applies to the branch-and-bound exact solvers: "
+                    + ", ".join(
+                        s.name
+                        for s in registry.specs(routable=True, include_families=False)
+                        if "budget" in s.tunables
+                    )
+                    + ")",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["budget"] = args.budget
+        route = spec.fn(request, **kwargs)
     hops = max(route.dest_hops(request.destinations).values())
     print(f"{args.algorithm} on {topology}: traffic={route.traffic} max_hops={hops}")
     if args.show:
@@ -489,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source", required=True)
     p.add_argument("--dest", action="append", required=True, help="repeatable")
     p.add_argument("--algorithm", choices=sorted(_route_choices()), default="dual-path")
+    p.add_argument("--budget", type=int, default=None,
+                   help="node-expansion budget for the exact branch-and-bound "
+                        "solvers (omp/omc/oms); exceeding it exits with code 4")
     p.add_argument("--show", action="store_true", help="draw the pattern (2D meshes)")
     p.add_argument("--fault", action="append", default=[],
                    help="faulty directed channel SRC>DST to route around "
@@ -624,6 +645,11 @@ def main(argv=None) -> int:
             print(f"blocking channel: {exc.channel[0]!r} -> {exc.channel[1]!r}",
                   file=sys.stderr)
         return 3
+    except SearchBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("raise --budget to keep searching (the problem is NP-complete; "
+              "cf. Theorems 4.1-4.8)", file=sys.stderr)
+        return 4
     except BrokenPipeError:
         # output piped into a pager/head that closed early
         import os

@@ -1,0 +1,16 @@
+"""Shared exception types of the exact solvers (Ch. 4)."""
+
+from __future__ import annotations
+
+__all__ = ["InfeasibleRoute", "SearchBudgetExceeded"]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The branch-and-bound search exceeded its node-expansion budget
+    (the practical face of the Chapter 4 NP-completeness theorems)."""
+
+
+class InfeasibleRoute(RuntimeError):
+    """No route of the requested model exists (e.g. no simple path from
+    the source can cover the destinations — possible on degenerate
+    hosts such as 1D meshes, cf. fact F3's even-side requirement)."""

@@ -5,13 +5,20 @@ A star is a partition of the destinations into groups, each served by a
 multicast path from the source.  The solver combines exact OMP costs
 per group (branch and bound) with a dynamic program over destination
 subsets.  Strictly for small instances.
+
+All ``2^k - 1`` group solves share one :class:`RequestTables` — one set
+of BFS rows and one pair of Held-Karp bound tables for the whole
+request, instead of rebuilding distances per sub-request as the
+reference solver does.
 """
 
 from __future__ import annotations
 
 from ..models.request import MulticastRequest
 from ..registry import register
-from .omp import InfeasibleRoute, optimal_multicast_path
+from .bitmask import INF, RequestTables
+from .errors import InfeasibleRoute
+from .omp import solve_path_mask
 
 
 @register(
@@ -19,34 +26,32 @@ from .omp import InfeasibleRoute, optimal_multicast_path
     kind="exact",
     result_model="cost",
     aliases=("optimal-multicast-star",),
+    tunables=("budget",),
     reference="Ch. 4 (partition DP over exact OMP group costs)",
 )
 def optimal_multicast_star_cost(
-    request: MulticastRequest, budget_per_group: int = 500_000
+    request: MulticastRequest, budget: int = 500_000, budget_per_group: int | None = None
 ) -> int:
-    """Minimal total length over all multicast stars for the request."""
-    topo = request.topology
-    dests = list(request.destinations)
-    k = len(dests)
-    size = 1 << k
+    """Minimal total length over all multicast stars for the request.
 
-    def group(S: int) -> tuple:
-        return tuple(dests[j] for j in range(k) if (S >> j) & 1)
+    ``budget`` caps the branch-and-bound expansions of each per-group
+    OMP solve (``budget_per_group`` is the historical alias).
+    """
+    if budget_per_group is not None:
+        budget = budget_per_group
+    tables = RequestTables(request.topology, request.source, request.destinations)
+    size = 1 << tables.k
 
     # Exact OMP cost per nonempty subset (infinite when no simple path
     # from the source can cover the group).
-    INF_COST = float("inf")
-    path_cost: list = [0] * size
+    path_cost = [0] * size
     for S in range(1, size):
-        sub_request = MulticastRequest(topo, request.source, group(S))
         try:
-            path_cost[S] = optimal_multicast_path(
-                sub_request, budget=budget_per_group
-            ).traffic
+            _nodes, cost = solve_path_mask(tables, S, budget, require_return=False)
+            path_cost[S] = cost
         except InfeasibleRoute:
-            path_cost[S] = INF_COST
+            path_cost[S] = INF
 
-    INF = float("inf")
     dp = [INF] * size
     dp[0] = 0
     for S in range(1, size):
@@ -54,12 +59,14 @@ def optimal_multicast_star_cost(
         # double-counting partitions
         low = S & (-S)
         sub = S
+        best = dp[S]
         while sub:
             if sub & low:
                 c = path_cost[sub] + dp[S ^ sub]
-                if c < dp[S]:
-                    dp[S] = c
+                if c < best:
+                    best = c
             sub = (sub - 1) & S
+        dp[S] = best
     return int(dp[size - 1])
 
 

@@ -100,9 +100,11 @@ def greedy_st_prepare(request: MulticastRequest) -> list[Node]:
     """Message preparation (Fig. 5.3): multicast node list headed by the
     source, destinations sorted ascending by distance from it."""
     u0 = request.source
-    topo = request.topology
+    oracle = request.topology.oracle()
+    imap = request.topology.index_map()
+    row = oracle.distance_row(imap[u0])
     return [u0] + sorted(
-        request.destinations, key=lambda v: (topo.distance(u0, v), topo.index(v))
+        request.destinations, key=lambda v: (row[imap[v]], imap[v])
     )
 
 

@@ -31,19 +31,25 @@ def kmb_route(request: MulticastRequest) -> MulticastTree:
     topo = request.topology
     terminals = [request.source, *request.destinations]
 
-    # 1. Minimum spanning tree of the metric closure (Prim).
-    in_tree = {terminals[0]}
+    # 1. Minimum spanning tree of the metric closure (Prim over the
+    #    oracle's terminal submatrix — k memoized BFS rows, shared with
+    #    every other consumer of this topology).
+    oracle = topo.oracle()
+    term_idx = oracle.indices(terminals)
+    closure = oracle.metric_closure(term_idx)
+    in_tree = {0}
     mst_edges: list[tuple[Node, Node]] = []
-    best: dict = {
-        t: (topo.distance(terminals[0], t), terminals[0]) for t in terminals[1:]
+    best: dict[int, tuple[int, int]] = {
+        t: (closure[0][t], 0) for t in range(1, len(terminals))
     }
     while best:
-        v = min(best, key=lambda t: (best[t][0], topo.index(t)))
+        v = min(best, key=lambda t: (best[t][0], term_idx[t]))
         d, parent = best.pop(v)
         in_tree.add(v)
-        mst_edges.append((parent, v))
+        mst_edges.append((terminals[parent], terminals[v]))
+        row = closure[v]
         for t in best:
-            d2 = topo.distance(v, t)
+            d2 = row[t]
             if d2 < best[t][0]:
                 best[t] = (d2, v)
 

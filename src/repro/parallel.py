@@ -62,6 +62,7 @@ from .sim.config import SimConfig
 from .sim.runner import DynamicResult, FaultResult, run_dynamic, run_resilient
 from .sim.stats import SimStats, Summary
 from .topology.base import Topology
+from .topology.oracle import canonical_topology
 
 __all__ = [
     "JobFailure",
@@ -185,9 +186,14 @@ def _normalize(job) -> SweepJob:
 
 
 def _run_job(job: SweepJob):
+    # Worker processes receive one pickled (cache-stripped) topology per
+    # job; interning maps every equal copy onto one process-local
+    # instance so the distance oracle, neighbor tables and labeling are
+    # built once per worker rather than once per job.
+    topology = canonical_topology(job.topology)
     if job.runner == "resilient":
-        return run_resilient(job.topology, job.scheme, job.config)
-    return run_dynamic(job.topology, job.scheme, job.config)
+        return run_resilient(topology, job.scheme, job.config)
+    return run_dynamic(topology, job.scheme, job.config)
 
 
 # ----------------------------------------------------------------------

@@ -140,6 +140,12 @@ class AlgorithmSpec:
     min_channels: int = 1
     #: dissertation / paper reference.
     reference: str = ""
+    #: names of tuning keyword arguments ``fn`` accepts beyond the
+    #: request (e.g. ``("budget",)`` on the branch-and-bound solvers);
+    #: consumers such as the CLI only forward a tunable the spec
+    #: declares, keeping dispatch capability-typed rather than
+    #: name-switched.
+    tunables: tuple[str, ...] = ()
     #: alternative names resolving to this same spec.
     aliases: tuple[str, ...] = ()
     #: family parameters of a resolved parametric instance

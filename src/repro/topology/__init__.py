@@ -5,9 +5,12 @@ from .grid import GridGraph, Point, rectangular_grid
 from .hypercube import Hypercube, popcount
 from .karyncube import KAryNCube
 from .mesh import Mesh2D, Mesh3D
+from .oracle import CacheStats, DistanceOracle, canonical_topology, oracle_for
 
 __all__ = [
+    "CacheStats",
     "Channel",
+    "DistanceOracle",
     "GridGraph",
     "Hypercube",
     "KAryNCube",
@@ -16,6 +19,8 @@ __all__ = [
     "Node",
     "Point",
     "Topology",
+    "canonical_topology",
+    "oracle_for",
     "popcount",
     "rectangular_grid",
 ]

@@ -11,15 +11,15 @@ shortest paths, which the routing algorithms of Ch. 5/6 rely on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import OrderedDict, deque
+from collections import deque
 from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .oracle import DistanceOracle
 
 Node = Hashable
 Channel = tuple[Node, Node]
-
-#: bound on the per-topology LRU of dimension-ordered paths; 64k entries
-#: covers every (u, v) pair of networks up to 256 nodes outright.
-_DOP_CACHE_SIZE = 65536
 
 
 class Topology(ABC):
@@ -76,29 +76,32 @@ class Topology(ABC):
         hypercubes it is e-cube routing (correct bits lowest dimension
         first).  Returns the node sequence ``[u, ..., v]``.
 
-        Paths are served from a bounded per-instance LRU; the returned
-        list is always a fresh copy, so callers may mutate it freely.
+        Paths are served from the oracle's bounded LRU (hit/miss
+        counters via :meth:`cache_stats`); the returned list is always
+        a fresh copy, so callers may mutate it freely.
         """
-        cache = getattr(self, "_dop_cache", None)
-        if cache is None:
-            cache = self._dop_cache = OrderedDict()
-        key = (u, v)
-        hit = cache.get(key)
-        if hit is not None:
-            cache.move_to_end(key)
-            return list(hit)
-        path = self._dimension_ordered_path(u, v)
-        cache[key] = tuple(path)
-        if len(cache) > _DOP_CACHE_SIZE:
-            cache.popitem(last=False)
-        return path
+        return self.oracle().path(u, v)
+
+    def oracle(self) -> DistanceOracle:
+        """The per-instance :class:`~repro.topology.oracle.DistanceOracle`
+        — int-indexed adjacency, memoized BFS distance rows, metric
+        closures and the dimension-ordered-path LRU — built lazily on
+        first use and shared by every consumer of this topology."""
+        from .oracle import oracle_for
+
+        return oracle_for(self)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/build counters of the oracle's memoized structures
+        (path LRU, distance rows, metric closures)."""
+        return self.oracle().cache_stats()
 
     # Memoized derived structure, dropped when a topology is pickled
     # (e.g. shipped to a `repro.parallel.run_sweep` worker): every
     # entry is recomputable, and some — the path LRU, the canonical
     # labeling's route memos — can dwarf the topology itself.
     _CACHE_ATTRS = (
-        "_dop_cache",
+        "_oracle",
         "_node_list",
         "_index_map",
         "_neighbor_table",

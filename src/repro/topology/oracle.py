@@ -1,0 +1,213 @@
+"""Per-topology distance oracle: the shared int-indexed fast path.
+
+Every consumer of a topology's geometry — the Chapter 4 exact solvers,
+the Chapter 5 heuristics, the sweep workers of :mod:`repro.parallel` —
+needs the same few derived structures: dense node indices, int-indexed
+adjacency, per-source distance rows, metric-closure submatrices over a
+terminal set, and deterministic dimension-ordered paths.  Before this
+layer each caller re-derived them through per-node ``distance()`` /
+``dimension_ordered_path()`` calls; the oracle builds each structure
+lazily, once per topology instance, and hands out plain ``list[int]``
+rows that Python hot loops index at C speed.
+
+The oracle also owns the dimension-ordered-path LRU that used to live
+as a hand-rolled ``OrderedDict`` inside :class:`Topology` and exports
+hit/miss counters (:meth:`Topology.cache_stats`), so cache behaviour
+is observable instead of folklore.
+
+Topologies are immutable, so nothing here is ever invalidated.  The
+oracle is dropped on pickling along with the other derived caches
+(see ``Topology._CACHE_ATTRS``); :func:`canonical_topology` lets a
+worker process re-intern equal topologies so one oracle serves every
+job the worker runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .base import Node, Topology
+
+__all__ = ["CacheStats", "DistanceOracle", "canonical_topology", "oracle_for"]
+
+#: bound on the dimension-ordered-path LRU; 64k entries covers every
+#: (u, v) pair of networks up to 256 nodes outright.
+_PATH_CACHE_SIZE = 65536
+
+
+@dataclass
+class CacheStats:
+    """Counters for one oracle's memoized structures."""
+
+    path_hits: int = 0
+    path_misses: int = 0
+    path_evictions: int = 0
+    row_hits: int = 0
+    rows_built: int = 0
+    closures_built: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "path_hits": self.path_hits,
+            "path_misses": self.path_misses,
+            "path_evictions": self.path_evictions,
+            "row_hits": self.row_hits,
+            "rows_built": self.rows_built,
+            "closures_built": self.closures_built,
+        }
+
+
+@dataclass
+class DistanceOracle:
+    """Lazily built, memoized int-indexed geometry of one topology."""
+
+    topology: "Topology"
+    path_cache_size: int = _PATH_CACHE_SIZE
+    stats: CacheStats = field(default_factory=CacheStats)
+    _rows: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _paths: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Index plumbing (delegates to the topology's own memoized tables).
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.topology.num_nodes
+
+    def index(self, v: "Node") -> int:
+        return self.topology.index_map()[v]
+
+    def node_at(self, i: int) -> "Node":
+        return self.topology.node_list()[i]
+
+    def indices(self, nodes) -> list[int]:
+        """Dense indices of a node sequence, in order."""
+        imap = self.topology.index_map()
+        return [imap[v] for v in nodes]
+
+    def adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """Int-indexed adjacency lists (``adjacency()[i]`` holds the
+        indices of the neighbors of node ``i``)."""
+        return self.topology.neighbor_indices()
+
+    # ------------------------------------------------------------------
+    # Distances.
+    # ------------------------------------------------------------------
+
+    def distance_row(self, i: int) -> list[int]:
+        """Distances from node index ``i`` to every node, as a plain
+        ``list[int]`` (BFS over the int adjacency, memoized per source;
+        an already-built all-pairs matrix is reused instead).
+
+        The returned list is shared — callers must not mutate it.
+        """
+        row = self._rows.get(i)
+        if row is not None:
+            self.stats.row_hits += 1
+            return row
+        matrix = getattr(self.topology, "_distance_matrix", None)
+        if matrix is not None:
+            row = [int(d) for d in matrix[i]]
+        else:
+            row = self._bfs_row(i)
+        self._rows[i] = row
+        self.stats.rows_built += 1
+        return row
+
+    def _bfs_row(self, src: int) -> list[int]:
+        nbrs = self.adjacency()
+        row = [0] * self.n
+        seen = bytearray(self.n)
+        seen[src] = 1
+        frontier = deque((src,))
+        while frontier:
+            i = frontier.popleft()
+            d = row[i] + 1
+            for j in nbrs[i]:
+                if not seen[j]:
+                    seen[j] = 1
+                    row[j] = d
+                    frontier.append(j)
+        return row
+
+    def distance(self, i: int, j: int) -> int:
+        """Shortest-path distance between node *indices*."""
+        return self.distance_row(i)[j]
+
+    def distance_nodes(self, u: "Node", v: "Node") -> int:
+        """Shortest-path distance between node *addresses* through the
+        memoized rows (one BFS per distinct source, ever)."""
+        imap = self.topology.index_map()
+        return self.distance_row(imap[u])[imap[v]]
+
+    def metric_closure(self, indices) -> list[list[int]]:
+        """The pairwise-distance submatrix over the given node indices:
+        ``closure[a][b] == distance(indices[a], indices[b])``.
+
+        Built from the memoized distance rows, so k terminals cost at
+        most k BFS traversals once per topology — not k² ``distance()``
+        calls per request as the pre-oracle solvers paid.
+        """
+        indices = list(indices)
+        self.stats.closures_built += 1
+        return [[self.distance_row(i)[j] for j in indices] for i in indices]
+
+    # ------------------------------------------------------------------
+    # Dimension-ordered paths (the LRU formerly hand-rolled in base.py).
+    # ------------------------------------------------------------------
+
+    def path(self, u: "Node", v: "Node") -> list["Node"]:
+        """The topology's deterministic dimension-ordered path from
+        ``u`` to ``v``, served from a bounded LRU.  Always returns a
+        fresh list; callers may mutate it freely."""
+        key = (u, v)
+        hit = self._paths.get(key)
+        if hit is not None:
+            self._paths.move_to_end(key)
+            self.stats.path_hits += 1
+            return list(hit)
+        path = self.topology._dimension_ordered_path(u, v)
+        self._paths[key] = tuple(path)
+        self.stats.path_misses += 1
+        if len(self._paths) > self.path_cache_size:
+            self._paths.popitem(last=False)
+            self.stats.path_evictions += 1
+        return path
+
+    def cache_stats(self) -> dict[str, int]:
+        """Current counters plus cache sizes, as a plain dict."""
+        out = self.stats.to_dict()
+        out["paths_cached"] = len(self._paths)
+        out["rows_cached"] = len(self._rows)
+        return out
+
+
+def oracle_for(topology: "Topology") -> DistanceOracle:
+    """The memoized oracle of a topology instance (built on first use;
+    equivalent to :meth:`Topology.oracle`)."""
+    cached: DistanceOracle | None = getattr(topology, "_oracle", None)
+    if cached is None:
+        cached = DistanceOracle(topology)
+        topology._oracle = cached  # type: ignore[attr-defined]
+    return cached
+
+
+#: process-local intern table for :func:`canonical_topology`.
+_INTERNED: dict[tuple[type, str], Any] = {}
+
+
+def canonical_topology(topology: "Topology") -> "Topology":
+    """A process-canonical instance equal to ``topology``.
+
+    Topologies are immutable and fully described by their ``repr``
+    (family + dimensions), so a worker process that receives one
+    pickled topology per job can intern them all to a single instance —
+    the oracle, distance matrix and labeling caches are then built once
+    per worker, not once per job.  The first instance seen for a given
+    family/shape wins and is returned for every later equal one.
+    """
+    return _INTERNED.setdefault((type(topology), repr(topology)), topology)

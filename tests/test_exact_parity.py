@@ -1,0 +1,102 @@
+"""Parity: the bitmask exact solvers vs repro.exact.reference.
+
+The registered Chapter 4 solvers were rewritten on integer-bitmask DP
+kernels over the shared distance oracle; the pre-optimization
+implementations are preserved verbatim in :mod:`repro.exact.reference`.
+Optimal costs are unique, so on every randomized instance the fast and
+reference solvers must agree exactly — and the constructive solvers
+must return routes that validate against the request.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import exact
+from repro.exact import reference
+from repro.models.request import MulticastRequest
+from repro.topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
+
+TOPOLOGIES = [
+    Mesh2D(5, 4),
+    Mesh3D(3, 3, 2),
+    Hypercube(4),
+    KAryNCube(3, 2),
+]
+
+
+@st.composite
+def small_request(draw, max_k=5):
+    topology = draw(st.sampled_from(TOPOLOGIES))
+    n = topology.num_nodes
+    src_i = draw(st.integers(0, n - 1))
+    k = draw(st.integers(1, max_k))
+    dest_is = draw(
+        st.lists(
+            st.integers(0, n - 1).filter(lambda i: i != src_i),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return MulticastRequest(
+        topology,
+        topology.node_at(src_i),
+        tuple(topology.node_at(i) for i in dest_is),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_request())
+def test_omp_parity(req):
+    fast = exact.optimal_multicast_path(req)
+    slow = reference.optimal_multicast_path(req)
+    assert fast.traffic == slow.traffic
+    fast.validate(req)  # nodes form a valid simple multicast path
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_request())
+def test_omc_parity(req):
+    fast = exact.optimal_multicast_cycle(req)
+    slow = reference.optimal_multicast_cycle(req)
+    assert fast.traffic == slow.traffic
+    fast.validate(req)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_request())
+def test_steiner_parity(req):
+    assert exact.minimal_steiner_tree_cost(req) == reference.minimal_steiner_tree_cost(req)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_request())
+def test_omt_parity(req):
+    assert exact.optimal_multicast_tree_cost(req) == reference.optimal_multicast_tree_cost(req)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_request(max_k=4))
+def test_oms_parity(req):
+    assert exact.optimal_multicast_star_cost(req) == reference.optimal_multicast_star_cost(req)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_request())
+def test_held_karp_parity(req):
+    topo, src, dests = req.topology, req.source, req.destinations
+    assert exact.held_karp_walk_cost(topo, src, dests) == reference.held_karp_walk_cost(
+        topo, src, dests
+    )
+    assert exact.held_karp_closed_walk_cost(
+        topo, src, dests
+    ) == reference.held_karp_closed_walk_cost(topo, src, dests)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_request())
+def test_shortest_path_dag_parity(req):
+    assert exact.shortest_path_dag(
+        req.topology, req.source
+    ) == reference.shortest_path_dag(req.topology, req.source)

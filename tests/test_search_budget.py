@@ -1,0 +1,91 @@
+"""The branch-and-bound node-expansion budget (Ch. 4 solvers).
+
+The budget is the practical face of the Chapter 4 NP-completeness
+theorems: every exponential search declares ``budget`` as a registry
+tunable, a starved search raises :class:`SearchBudgetExceeded`, the
+default budget comfortably solves dissertation-scale instances (8x8
+mesh, |D| = 10 — the Chapter 7 workload), and ``python -m repro route
+--budget`` threads the knob through to exit code 4.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import registry
+from repro.cli import main
+from repro.exact import (
+    SearchBudgetExceeded,
+    held_karp_walk_cost,
+    optimal_multicast_cycle,
+    optimal_multicast_path,
+    optimal_multicast_star_cost,
+)
+from repro.models.request import MulticastRequest
+from repro.topology import Mesh2D
+
+
+def fig7_request(seed: int) -> MulticastRequest:
+    """A Chapter 7-scale instance: 8x8 mesh, 10 random destinations."""
+    mesh = Mesh2D(8, 8)
+    rng = random.Random(seed)
+    nodes = mesh.node_list()
+    src = rng.choice(nodes)
+    dests = rng.sample([v for v in nodes if v != src], 10)
+    return MulticastRequest(mesh, src, tuple(dests))
+
+
+@pytest.mark.parametrize(
+    "solver", [optimal_multicast_path, optimal_multicast_cycle, optimal_multicast_star_cost]
+)
+def test_tiny_budget_raises(solver):
+    with pytest.raises(SearchBudgetExceeded):
+        solver(fig7_request(seed=1), budget=3)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_default_budget_solves_fig7_scale_instances(seed):
+    req = fig7_request(seed)
+    path = optimal_multicast_path(req)
+    path.validate(req)
+    # optimal, hence at least the certified Held-Karp walk bound
+    assert path.traffic >= held_karp_walk_cost(req.topology, req.source, req.destinations)
+    cycle = optimal_multicast_cycle(req)
+    cycle.validate(req)
+    assert cycle.traffic >= path.traffic
+
+
+def test_budget_is_a_declared_registry_tunable():
+    for name in ("omp", "omc", "oms"):
+        assert "budget" in registry.get(name).tunables
+    # non-search schemes declare no budget knob
+    assert "budget" not in registry.get("greedy-st").tunables
+    assert "budget" not in registry.get("omt").tunables
+
+
+class TestRouteBudgetCli:
+    ARGS = [
+        "route",
+        "--topology", "mesh:6x6",
+        "--source", "0,0",
+        "--dest", "5,5",
+        "--dest", "0,5",
+        "--dest", "3,2",
+        "--algorithm", "omp",
+    ]
+
+    def test_default_budget_solves(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "omp on" in capsys.readouterr().out
+
+    def test_tiny_budget_exits_4(self, capsys):
+        assert main([*self.ARGS, "--budget", "2"]) == 4
+        err = capsys.readouterr().err
+        assert "expansions" in err and "--budget" in err
+
+    def test_budget_rejected_for_non_search_scheme(self, capsys):
+        args = [*self.ARGS[:-1], "greedy-st", "--budget", "100"]
+        assert main(args) == 2
+        assert "no search budget" in capsys.readouterr().err

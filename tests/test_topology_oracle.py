@@ -1,0 +1,122 @@
+"""The per-topology distance oracle (repro.topology.oracle).
+
+The oracle replaced the hand-rolled dimension-ordered-path LRU in
+``Topology`` and became the shared distance layer under the exact
+solvers, the heuristics and the sweep workers — so its caching must be
+observable (hit/miss/eviction counters), correct (rows and closures
+equal to the definitional computations), bounded (LRU eviction), and
+worker-friendly (dropped on pickling, re-internable per process).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.topology import (
+    DistanceOracle,
+    Hypercube,
+    KAryNCube,
+    Mesh2D,
+    Mesh3D,
+    canonical_topology,
+    oracle_for,
+)
+
+TOPOLOGIES = [Mesh2D(5, 4), Mesh3D(3, 3, 2), Hypercube(4), KAryNCube(4, 2)]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=str)
+def test_distance_rows_match_scalar_distance(topology):
+    oracle = topology.oracle()
+    for i in range(topology.num_nodes):
+        row = oracle.distance_row(i)
+        u = topology.node_at(i)
+        assert row == [topology.distance(u, v) for v in topology.nodes()]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES, ids=str)
+def test_metric_closure_matches_pairwise_distance(topology):
+    oracle = topology.oracle()
+    nodes = topology.node_list()[:: max(1, topology.num_nodes // 5)]
+    closure = oracle.metric_closure(oracle.indices(nodes))
+    for a, u in enumerate(nodes):
+        for b, v in enumerate(nodes):
+            assert closure[a][b] == topology.distance(u, v)
+
+
+def test_oracle_is_memoized_per_instance():
+    mesh = Mesh2D(4, 4)
+    assert mesh.oracle() is mesh.oracle()
+    assert oracle_for(mesh) is mesh.oracle()
+    # distinct (if equal) instances get distinct oracles
+    assert Mesh2D(4, 4).oracle() is not mesh.oracle()
+
+
+def test_cache_stats_count_path_hits_and_misses():
+    mesh = Mesh2D(6, 6)
+    stats = mesh.cache_stats()
+    assert stats["path_hits"] == 0 and stats["path_misses"] == 0
+    first = mesh.dimension_ordered_path((0, 0), (3, 2))
+    stats = mesh.cache_stats()
+    assert stats["path_misses"] == 1 and stats["path_hits"] == 0
+    second = mesh.dimension_ordered_path((0, 0), (3, 2))
+    stats = mesh.cache_stats()
+    assert stats["path_misses"] == 1 and stats["path_hits"] == 1
+    assert second == first and second is not first  # fresh copy per call
+    assert stats["paths_cached"] == 1
+
+
+def test_cache_stats_count_row_reuse():
+    cube = Hypercube(4)
+    oracle = cube.oracle()
+    oracle.distance_row(0)
+    oracle.distance_row(0)
+    oracle.distance_row(3)
+    stats = cube.cache_stats()
+    assert stats["rows_built"] == 2
+    assert stats["row_hits"] == 1
+    assert stats["rows_cached"] == 2
+
+
+def test_path_lru_evicts_beyond_capacity():
+    mesh = Mesh2D(8, 8)
+    oracle = DistanceOracle(mesh, path_cache_size=2)
+    pairs = [((0, 0), (1, 1)), ((2, 2), (3, 3)), ((4, 4), (5, 5))]
+    for u, v in pairs:
+        oracle.path(u, v)
+    stats = oracle.cache_stats()
+    assert stats["path_evictions"] == 1
+    assert stats["paths_cached"] == 2
+    # the evicted (least-recently-used) entry misses again
+    oracle.path(*pairs[0])
+    assert oracle.cache_stats()["path_misses"] == 4
+
+
+def test_pickling_drops_the_oracle():
+    mesh = Mesh2D(5, 5)
+    mesh.dimension_ordered_path((0, 0), (4, 4))
+    assert getattr(mesh, "_oracle", None) is not None
+    clone = pickle.loads(pickle.dumps(mesh))
+    assert getattr(clone, "_oracle", None) is None
+    # the clone rebuilds a working oracle lazily
+    assert clone.dimension_ordered_path((0, 0), (4, 4)) == mesh.dimension_ordered_path(
+        (0, 0), (4, 4)
+    )
+
+
+def test_canonical_topology_interns_equal_instances():
+    first = canonical_topology(Mesh3D(3, 2, 2))
+    clone = pickle.loads(pickle.dumps(Mesh3D(3, 2, 2)))
+    assert canonical_topology(clone) is first
+    assert canonical_topology(first) is first
+    # different shape -> different canonical instance
+    assert canonical_topology(Mesh3D(2, 3, 2)) is not first
+
+
+def test_interned_topology_shares_one_oracle():
+    a = canonical_topology(Hypercube(5))
+    b = canonical_topology(pickle.loads(pickle.dumps(Hypercube(5))))
+    assert a is b
+    assert a.oracle() is b.oracle()
