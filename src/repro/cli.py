@@ -180,7 +180,7 @@ def cmd_simulate(args) -> int:
         from .parallel import SweepJob, pooled_latency, replicate, run_sweep
 
         jobs = [
-            SweepJob(topology, args.scheme, c)
+            SweepJob(topology, args.scheme, c, engine=args.engine)
             for c in replicate(cfg, args.replications)
         ]
         results = run_sweep(jobs, workers=args.workers)
@@ -194,7 +194,7 @@ def cmd_simulate(args) -> int:
             f"{args.workers or 'auto'} workers)"
         )
         return 0
-    result = run_dynamic(topology, args.scheme, cfg)
+    result = run_dynamic(topology, args.scheme, cfg, engine=args.engine)
     print(
         f"{args.scheme} on {topology}: mean latency "
         f"{result.mean_latency * 1e6:.2f} us "
@@ -233,6 +233,7 @@ def cmd_faults(args) -> int:
                     scheme,
                     cfg.replace(link_fault_rate=rate),
                     "resilient",
+                    args.engine,
                 ),
                 args.replications,
             )
@@ -330,7 +331,11 @@ def cmd_mixed(args) -> int:
         mean_interarrival=args.interarrival_us * 1e-6,
         seed=args.seed,
     )
-    result = run_mixed(topology, args.scheme, cfg, unicast_fraction=args.unicast_fraction)
+    result = run_mixed(
+        topology, args.scheme, cfg,
+        unicast_fraction=args.unicast_fraction,
+        engine=args.engine,
+    )
     print(
         f"{args.scheme} on {topology} ({args.unicast_fraction:.0%} unicast): "
         f"unicast {result.unicast_latency.mean * 1e6:.2f} us, "
@@ -529,6 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the replication sweep "
                         "(default: all cores; used when --replications > 1)")
+    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
+                   help="simulation core: the coroutine reference model or the "
+                        "vectorized structure-of-arrays engine (identical results)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("faults", help="fault-injection degradation study")
@@ -561,6 +569,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip replications already in --checkpoint")
     p.add_argument("--output", default=None, help="write the sweep as JSON")
+    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
+                   help="simulation core for every replication")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("mixed", help="unicast/multicast interaction study (§8.2)")
@@ -571,6 +581,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interarrival-us", type=float, default=300.0)
     p.add_argument("--unicast-fraction", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
+                   help="simulation core (reference coroutines or dense SoA)")
     p.set_defaults(func=cmd_mixed)
 
     p = sub.add_parser("reproduce", help="regenerate one dissertation figure")

@@ -59,7 +59,13 @@ from collections.abc import Iterable, Sequence
 
 from .registry import get as get_spec
 from .sim.config import SimConfig
-from .sim.runner import DynamicResult, FaultResult, run_dynamic, run_resilient
+from .sim.runner import (
+    ENGINES,
+    DynamicResult,
+    FaultResult,
+    run_dynamic,
+    run_resilient,
+)
 from .sim.stats import SimStats, Summary
 from .topology.base import Topology
 from .topology.oracle import canonical_topology
@@ -89,12 +95,14 @@ class SweepJob:
     driving process before any worker fans out.  ``runner`` selects the
     driver: ``"dynamic"`` (:func:`repro.sim.runner.run_dynamic`) or
     ``"resilient"`` (:func:`repro.sim.runner.run_resilient`, fault
-    injection + retry)."""
+    injection + retry); ``engine`` the simulation core (``"reference"``
+    coroutine kernel or the vectorized ``"dense"`` engine)."""
 
     topology: Topology
     scheme: str
     config: SimConfig
     runner: str = "dynamic"
+    engine: str = "reference"
 
     def __post_init__(self):
         spec = get_spec(self.scheme)  # raises UnknownSchemeError on typos
@@ -111,6 +119,11 @@ class SweepJob:
         if self.runner not in ("dynamic", "resilient"):
             raise ValueError(
                 f"unknown runner {self.runner!r} (expected 'dynamic' or 'resilient')"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected one of "
+                f"{', '.join(sorted(ENGINES))})"
             )
 
 
@@ -170,7 +183,9 @@ def replicate(config, num_runs: int):
     from the config's seed."""
     if isinstance(config, SweepJob):
         return [
-            SweepJob(config.topology, config.scheme, c, config.runner)
+            SweepJob(
+                config.topology, config.scheme, c, config.runner, config.engine
+            )
             for c in replicate(config.config, num_runs)
         ]
     return [
@@ -192,8 +207,8 @@ def _run_job(job: SweepJob):
     # built once per worker rather than once per job.
     topology = canonical_topology(job.topology)
     if job.runner == "resilient":
-        return run_resilient(topology, job.scheme, job.config)
-    return run_dynamic(topology, job.scheme, job.config)
+        return run_resilient(topology, job.scheme, job.config, engine=job.engine)
+    return run_dynamic(topology, job.scheme, job.config, engine=job.engine)
 
 
 # ----------------------------------------------------------------------
@@ -209,10 +224,12 @@ def _job_key(job: SweepJob) -> str:
     result (topology identity, scheme, runner, full config)."""
     from dataclasses import asdict
 
-    payload = json.dumps(
-        [repr(job.topology), job.scheme, job.runner, asdict(job.config)],
-        sort_keys=True,
-    )
+    fields = [repr(job.topology), job.scheme, job.runner, asdict(job.config)]
+    if job.engine != "reference":
+        # appended only for non-default engines so checkpoints written
+        # before the engine field existed still resume cleanly
+        fields.append(job.engine)
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 

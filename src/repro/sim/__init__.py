@@ -1,12 +1,16 @@
 """Discrete-event wormhole network simulation (§7.2's dynamic study).
 
 The CSIM-equivalent kernel lives in :mod:`repro.sim.kernel`; the
-flit-level wormhole model in :mod:`repro.sim.network`; routing adapters
-in :mod:`repro.sim.traffic`; the experiment drivers in
-:mod:`repro.sim.runner`.
+reference flit-level wormhole model in :mod:`repro.sim.reference` (the
+vectorized structure-of-arrays engine in :mod:`repro.sim.dense` is its
+parity-tested counterpart); routing adapters in
+:mod:`repro.sim.traffic`; the experiment drivers in
+:mod:`repro.sim.runner`, which take ``engine="reference"`` or
+``engine="dense"``.
 """
 
-from .config import SimConfig
+from .config import InvalidConfigError, SimConfig
+from .dense import DenseEngine, EngineCounters
 from .kernel import Environment, Event, LegacyEnvironment, Process, Timeout
 from .network import (
     AdaptivePathWorm,
@@ -27,6 +31,7 @@ from .faults import (
 from .saf import SAFNetwork
 from .vct import VCTWorm, inject_vct_path
 from .runner import (
+    ENGINES,
     DeadlockDetected,
     FaultResult,
     MixedResult,
@@ -50,8 +55,12 @@ __all__ = [
     "CircuitMessage",
     "DeadlockDetected",
     "Delivery",
+    "DenseEngine",
     "DynamicResult",
+    "ENGINES",
+    "EngineCounters",
     "Environment",
+    "InvalidConfigError",
     "FaultEvent",
     "FaultPlan",
     "FaultResult",

@@ -11,9 +11,22 @@ import math
 from dataclasses import dataclass
 
 
+class InvalidConfigError(ValueError):
+    """A :class:`SimConfig` field holds a value the simulators cannot
+    run with (negative rate, zero capacity, non-positive length, ...).
+
+    Raised at construction so a bad parameter fails at the call site
+    instead of as silent misbehavior deep inside a runner.
+    """
+
+
 @dataclass(frozen=True)
 class SimConfig:
-    """Parameters of one dynamic wormhole simulation run."""
+    """Parameters of one dynamic wormhole simulation run.
+
+    Every instance is validated on construction; out-of-range fields
+    raise :class:`InvalidConfigError`.
+    """
 
     #: message length L in bytes (§7.2: 128)
     message_bytes: int = 128
@@ -71,6 +84,74 @@ class SimConfig:
     #: multiplier applied to the retry delay per attempt (exponential
     #: backoff)
     retry_backoff: float = 2.0
+
+    #: snap every traffic/retry/fault event time to the flit-time grid
+    #: (each delay rounds to the nearest whole number of flit times, at
+    #: least one).  Off by default — the reference engine then matches
+    #: the seed simulator bit for bit.  The dense engine advances an
+    #: integer flit clock, so it always behaves as if this were set;
+    #: enabling it on the reference engine is what makes dense-vs-
+    #: reference runs comparable event for event (the parity suite
+    #: runs both this way).
+    quantize_arrivals: bool = False
+
+    def __post_init__(self):
+        def require(ok: bool, field: str, why: str) -> None:
+            if not ok:
+                raise InvalidConfigError(
+                    f"SimConfig.{field} = {getattr(self, field)!r}: {why}"
+                )
+
+        require(self.message_bytes > 0, "message_bytes", "must be positive")
+        require(self.flit_bytes > 0, "flit_bytes", "must be positive")
+        require(self.bandwidth > 0, "bandwidth", "must be positive")
+        require(
+            self.mean_interarrival > 0, "mean_interarrival", "must be positive"
+        )
+        require(
+            self.num_destinations >= 1, "num_destinations", "need at least one"
+        )
+        require(self.num_messages >= 0, "num_messages", "cannot be negative")
+        require(
+            0.0 <= self.warmup_fraction <= 1.0,
+            "warmup_fraction",
+            "must lie in [0, 1]",
+        )
+        require(
+            self.channels_per_link >= 1,
+            "channels_per_link",
+            "need at least one channel per link",
+        )
+        require(self.address_bytes >= 0, "address_bytes", "cannot be negative")
+        require(
+            0.0 <= self.link_fault_rate <= 1.0,
+            "link_fault_rate",
+            "must lie in [0, 1]",
+        )
+        require(
+            0.0 <= self.node_fault_rate <= 1.0,
+            "node_fault_rate",
+            "must lie in [0, 1]",
+        )
+        require(self.fault_mtbf >= 0, "fault_mtbf", "cannot be negative")
+        require(self.fault_mttr >= 0, "fault_mttr", "cannot be negative")
+        require(
+            self.fault_window is None or self.fault_window > 0,
+            "fault_window",
+            "must be positive (or None for the injection span)",
+        )
+        require(self.max_retries >= 0, "max_retries", "cannot be negative")
+        require(self.retry_timeout > 0, "retry_timeout", "must be positive")
+        require(self.retry_backoff > 0, "retry_backoff", "must be positive")
+
+    def quantize(self, delay: float) -> float:
+        """``delay`` snapped to the flit-time grid (>= one flit time)."""
+        tf = self.flit_time
+        return max(1, round(delay / tf)) * tf
+
+    def ticks(self, delay: float) -> int:
+        """``delay`` as a whole number of flit times (>= 1)."""
+        return max(1, round(delay / self.flit_time))
 
     @property
     def faulty(self) -> bool:

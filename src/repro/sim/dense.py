@@ -1,0 +1,1552 @@
+"""Vectorized structure-of-arrays wormhole engine.
+
+The reference model (:mod:`repro.sim.reference`) steps one worm object
+per event through the kernel; profiling shows the per-worm Python
+callback chain — not the calendar — bounds dynamic-run throughput.
+This engine keeps the *same* simulation as flat state:
+
+* channel occupancy (``in_use``/``cap``) and the fault mask
+  (``chan_down``) as NumPy arrays over interned channel ids;
+* per-worm route cursors (``w_idx``), lengths, flit counts, message
+  ids and injection ticks as parallel arrays;
+* path-worm routes in one flat route pool (``rp_chan``/``rp_dest``),
+  sliced per worm by ``w_off``;
+* blocked state as per-channel FIFO waiter lists of worm ids.
+
+Time is an integer flit clock.  The calendar is a bucket per tick
+(found through a heap of tick keys, so empty ticks cost nothing), and
+each tick is one pass over its bucket; consecutive path-worm steps
+coalesce into array chunks that a single vectorized pass advances —
+acquire, trailing release, delivery latch and next-tick scheduling as
+bulk array ops — instead of one Python callback per worm per flit.
+
+Parity contract
+---------------
+
+Event-for-event equality with the reference engine under
+``SimConfig(quantize_arrivals=True)``: every traffic/fault/retry delay
+is then a whole number of flit times on both engines, and this engine
+reproduces the two-lane kernel's dispatch order exactly — pre-scheduled
+bucket entries run in scheduling order, zero-delay work appends to the
+live bucket (the immediate lane), and releases wake waiters FIFO.  A
+vector chunk preserves that order by construction: it only batches
+*consecutive* steps, splits at every mover/arrival boundary, and falls
+back to the ordered scalar path whenever two worms in a chunk touch the
+same channel in the same tick.  The parity suite asserts identical
+delivery streams and latency summaries across engines for every
+simulable ``worm_style``; worm styles without a dense kernel
+(``vct-tree``) transparently fall back to the reference engine.
+
+Fault injection works on both engines: :class:`~repro.sim.faults.FaultState`
+link/node queries are folded into the vectorized ``chan_down`` mask
+(rebuilt per state version), while kills, drop handling and
+retransmission mirror the fault-aware reference worms through the
+ordered scalar path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from .config import SimConfig
+
+__all__ = ["DenseEngine", "EngineCounters"]
+
+# worm kinds
+_PATH, _ADAPTIVE, _TREE = 0, 1, 2
+
+# calendar entry kinds (first element of a tuple entry); a *list* entry
+# is a chunk of consecutive path-worm step events.
+_STEP = 0    # (kind, w): advance one hop / start arrival drain
+_REL = 1     # (kind, w, hop): release one held channel, latch delivery
+_FIN = 2     # (kind, w): tail fully drained
+_TTICK = 3   # (kind, w): tree level tick
+_TREL = 4    # (kind, w, level): release one tree level
+_CALL = 5    # (kind, fn, args): inline callback (injection, fault event)
+_DEFER = 6   # (kind, fn, args): callback via the immediate lane (retry)
+_BREL = 7    # (kind, ws, hops): vectorized release chunk
+_BFIN = 8    # (kind, ws): vectorized finish chunk
+_ARR = 9     # (kind, w): path worm starts its arrival drain (tick-vector mode)
+
+
+@dataclass
+class EngineCounters:
+    """Dense-engine progress counters (a ``cache_stats()``-style API:
+    :meth:`DenseEngine.cache_stats` returns them as a plain dict)."""
+
+    #: non-empty ticks processed
+    ticks: int = 0
+    #: events processed one at a time (scalar path)
+    events: int = 0
+    #: events processed inside vectorized chunks
+    batched_events: int = 0
+    #: vectorized passes executed
+    batches: int = 0
+    #: widest single vectorized pass (the high-water chunk width)
+    max_batch_width: int = 0
+    #: chunked events diverted to the ordered scalar path because two
+    #: worms touched the same channel in the same tick
+    scalar_fallback_events: int = 0
+    #: most worms simultaneously in flight
+    max_active_worms: int = 0
+    #: total worms injected
+    worms: int = 0
+    #: deliveries recorded
+    deliveries: int = 0
+    #: channel-acquisition attempts that blocked
+    blocks: int = 0
+    #: blocked worms woken by a release
+    wakes: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class _AdaptiveState:
+    """Per-worm mutable state of one adaptive path worm (scalar kernel)."""
+
+    __slots__ = ("nodes", "cids", "queue", "dests", "labeling", "channel_key", "capacity")
+
+    def __init__(self, source, destinations, labeling, channel_key, capacity):
+        self.nodes = [source]
+        self.cids: list[int] = []
+        self.queue = list(destinations)
+        self.dests = set(destinations)
+        self.labeling = labeling
+        self.channel_key = channel_key
+        self.capacity = capacity
+
+
+class _TreeHandle:
+    """Return value of :meth:`DenseEngine.inject_tree`, duck-typing the
+    reference ``TreeWorm`` just enough for ``inject_specs`` to assign
+    ``dest_levels`` after injection."""
+
+    __slots__ = ("engine", "w")
+
+    def __init__(self, engine: "DenseEngine", w: int):
+        self.engine = engine
+        self.w = w
+
+    @property
+    def dest_levels(self):
+        return self.engine.tree_dests[self.w]
+
+    @dest_levels.setter
+    def dest_levels(self, value) -> None:
+        self.engine.tree_dests[self.w] = list(value)
+
+
+class DenseEngine:
+    """Structure-of-arrays flit simulation core.
+
+    Drop-in for the injection surface of
+    :class:`~repro.sim.reference.WormholeNetwork` (``inject_path``,
+    ``inject_adaptive_path``, ``inject_tree``, ``config``), so
+    :func:`repro.sim.runner.inject_specs` drives either engine
+    unchanged.  Passing a ``fault_state`` selects the fault-aware
+    scalar kernels (mirroring the faulty reference worms, including
+    delivery dedup, kill accounting and ``drop_handler`` callbacks);
+    without one the vectorized fast path runs.
+    """
+
+    #: chunks narrower than this advance through the scalar path (the
+    #: per-pass NumPy overhead outweighs the loop below it)
+    BATCH_MIN = 16
+    #: routes at least this long use the vectorized edge-LUT interner
+    LUT_MIN_HOPS = 64
+    #: node-id width of the edge LUT (nodes must fit in LUT_BITS bits)
+    LUT_BITS = 11
+
+    def __init__(
+        self,
+        config: SimConfig,
+        fault_state=None,
+        stats=None,
+        node_index: dict | None = None,
+        vectorize: bool = True,
+    ):
+        self.config = config
+        self.tf = config.flit_time
+        self.tick = 0
+        self.counters = EngineCounters()
+        self.faulty = fault_state is not None
+        self.fault_state = fault_state
+        self.stats = stats
+        self.vectorize = vectorize and not self.faulty
+        #: tick-level vectorized dispatch; only valid for runs whose
+        #: every worm is a path worm (``worm_style`` star / vc-star) —
+        #: the drivers in :mod:`repro.sim.runner` gate it on the spec
+        self.tickvec = False
+        self._inject_hook: tuple | None = None
+        self._round_defers: list = []
+        self.active_worms = 0
+        self.total_worms = 0
+
+        # calendar: bucket of entries per integer tick
+        self.buckets: dict[int, list] = {}
+        self.tick_heap: list[int] = []
+        self._pending: list = []
+
+        # channels (SoA over interned ids)
+        n = 256
+        self.chan_ids: dict = {}
+        self.chan_keys: list = []
+        self.n_chan = 0
+        self.cap = np.zeros(n, dtype=np.int32)
+        self.in_use = np.zeros(n, dtype=np.int32)
+        self.has_waiters = np.zeros(n, dtype=bool)
+        self.waiters: dict[int, list[int]] = {}
+        self._waiter_total = 0
+
+        # worms (SoA)
+        m = 1024
+        self.n_worms = 0
+        self.w_kind = np.zeros(m, dtype=np.int8)
+        self.w_idx = np.zeros(m, dtype=np.int64)
+        self.w_len = np.zeros(m, dtype=np.int64)
+        self.w_flits = np.zeros(m, dtype=np.int64)
+        self.w_mid = np.zeros(m, dtype=np.int64)
+        self.w_inj = np.zeros(m, dtype=np.int64)
+        self.w_off = np.zeros(m, dtype=np.int64)
+
+        # flat route pool (path worms)
+        p = 4096
+        self.rp_chan = np.zeros(p, dtype=np.int64)
+        self.rp_dest = np.zeros(p, dtype=bool)
+        self.rp_head: list = []  # head node object per pool slot
+        self.rp_used = 0
+        #: memoized (channel-id vector, delivery-flag vector) per
+        #: (nodes, destinations, capacity) route
+        self._route_cache: dict = {}
+        #: lazily-filled (u << LUT_BITS | v) -> channel-id table, built
+        #: the first time a long route over small-int nodes is injected
+        #: (-1 = not interned yet); one capacity value only
+        self._edge_lut = None
+        self._lut_cap: int | None = None
+        self._dest_scratch = None
+
+        # ragged per-worm state (scalar kernels)
+        self.ad: dict[int, _AdaptiveState] = {}
+        self.tree_chans: dict[int, list] = {}
+        self.tree_dests: dict[int, list] = {}
+
+        # delivery stream (column-wise; Delivery objects built on demand)
+        self.d_mid: list[int] = []
+        self.d_node: list = []
+        self.d_inj: list[int] = []
+        self.d_tick: list[int] = []
+
+        # fault-aware state (mirrors FaultyWormholeNetwork)
+        self.drop_handler = None
+        self.origin_tick: int | None = None
+        if self.faulty:
+            if node_index is None:
+                raise ValueError("fault-aware dense engine needs node_index")
+            self.w_dead = np.zeros(m, dtype=bool)
+            self.w_arrived = np.zeros(m, dtype=bool)
+            self.w_delivered: dict[int, set] = {}
+            self.w_dests: dict[int, set] = {}
+            self.w_src: dict[int, object] = {}
+            self.live: dict[int, None] = {}
+            self.delivered_by_message: dict[int, set] = {}
+            self._node_index = node_index
+            self._node_down = np.zeros(len(node_index), dtype=bool)
+            self._link_ids: dict = {}
+            self._link_down = np.zeros(n, dtype=bool)
+            self.ch_u = np.zeros(n, dtype=np.int64)
+            self.ch_v = np.zeros(n, dtype=np.int64)
+            self.ch_link = np.zeros(n, dtype=np.int64)
+            self.chan_down = np.zeros(n, dtype=bool)
+            self._fault_version = fault_state._version
+            self._any_down = fault_state.any_down
+
+    # ------------------------------------------------------------------
+    # Calendar.
+    # ------------------------------------------------------------------
+
+    def _bucket(self, t: int) -> list:
+        b = self.buckets.get(t)
+        if b is None:
+            b = self.buckets[t] = []
+            heapq.heappush(self.tick_heap, t)
+        return b
+
+    def _at(self, dt: int, entry) -> None:
+        self._bucket(self.tick + dt).append(entry)
+
+    def _sched_entry(self, tick: int, entry) -> None:
+        """Insert ``entry`` into ``tick``'s bucket.  During a
+        tick-vector scan the insert is deferred to the emission pass so
+        it lands among the batched rows' own follow-ups at this call's
+        calendar position — bucket order must equal the reference
+        kernel's chronological scheduling order, which contention
+        resolution is sensitive to."""
+        h = self._inject_hook
+        if h is not None:
+            self._round_defers.append((len(h[0]), tick, entry))
+        else:
+            self._bucket(tick).append(entry)
+
+    def call_at(self, tick: int, fn, *args) -> None:
+        """Run ``fn(*args)`` inline at absolute ``tick`` (>= 1)."""
+        self._sched_entry(tick, (_CALL, fn, args))
+
+    def call_in(self, dt: int, fn, *args) -> None:
+        """Run ``fn(*args)`` inline ``dt`` ticks from now."""
+        self._sched_entry(self.tick + dt, (_CALL, fn, args))
+
+    def call_in_deferred(self, dt: int, fn, *args) -> None:
+        """Like :meth:`call_in`, but on arrival the call joins the end
+        of the tick's immediate lane — the dense equivalent of waiting
+        on a kernel ``Timeout`` (fire at the stamp, run the waiters
+        after the already-queued immediates)."""
+        self._sched_entry(self.tick + dt, (_DEFER, fn, args))
+
+    def _sched_step(self, w: int) -> None:
+        """Schedule the next flit step of ``w`` one tick out.
+        Consecutive path-worm steps coalesce into one chunk entry."""
+        if self.vectorize and self.w_kind[w] == _PATH:
+            b = self._bucket(self.tick + 1)
+            if self.tickvec and self.w_idx[w] == self.w_len[w]:
+                # tag arrivals at scheduling time so the tick-vector
+                # scan never needs a per-entry cursor read
+                b.append((_ARR, w))
+            elif b and type(b[-1]) is list:
+                b[-1].append(w)
+            else:
+                b.append([w])
+        else:
+            self._at(1, ((_TTICK, w) if self.w_kind[w] == _TREE else (_STEP, w)))
+
+    @property
+    def now(self) -> float:
+        return self.tick * self.tf
+
+    # ------------------------------------------------------------------
+    # Channels.
+    # ------------------------------------------------------------------
+
+    def _chan(self, key, capacity: int | None = None) -> int:
+        cid = self.chan_ids.get(key)
+        if cid is not None:
+            return cid
+        cid = self.n_chan
+        if cid == len(self.cap):
+            self.cap = np.concatenate([self.cap, np.zeros(cid, dtype=np.int32)])
+            self.in_use = np.concatenate([self.in_use, np.zeros(cid, dtype=np.int32)])
+            self.has_waiters = np.concatenate(
+                [self.has_waiters, np.zeros(cid, dtype=bool)]
+            )
+            if self.faulty:
+                for name in ("ch_u", "ch_v", "ch_link"):
+                    arr = getattr(self, name)
+                    setattr(self, name, np.concatenate([arr, np.zeros(cid, dtype=np.int64)]))
+                self.chan_down = np.concatenate([self.chan_down, np.zeros(cid, dtype=bool)])
+        self.n_chan = cid + 1
+        self.chan_ids[key] = cid
+        self.chan_keys.append(key)
+        self.cap[cid] = capacity or self.config.channels_per_link
+        if self.faulty:
+            u, v = key[0], key[1]
+            self.ch_u[cid] = self._node_index[u]
+            self.ch_v[cid] = self._node_index[v]
+            lid = self._link_ids.get((u, v))
+            if lid is None:
+                lid = self._link_ids[(u, v)] = len(self._link_ids)
+                if lid == len(self._link_down):
+                    self._link_down = np.concatenate(
+                        [self._link_down, np.zeros(lid, dtype=bool)]
+                    )
+            self.ch_link[cid] = lid
+            self.chan_down[cid] = (
+                self.fault_state.channel_down(key) if self._any_down else False
+            )
+        return cid
+
+    def _intern_route(self, nodes, destinations, off: int, n: int, cap: int) -> bool:
+        """Vectorized route interning for long paths over small-int
+        nodes: channel ids come from one gather on a lazily-filled
+        ``(u << LUT_BITS) | v`` table, delivery flags from a scratch
+        membership array.  Returns False when the nodes don't qualify
+        (non-int, out of range, or a second capacity value) and the
+        caller must fall back to the per-hop loop."""
+        arr = np.asarray(nodes)
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+            return False
+        u = arr[:-1]
+        v = arr[1:]
+        if self._edge_lut is None:
+            if int(arr.min()) < 0 or int(arr.max()) >= (1 << self.LUT_BITS):
+                return False
+            self._edge_lut = np.full(1 << (2 * self.LUT_BITS), -1, dtype=np.int32)
+            self._lut_cap = cap
+            self._dest_scratch = np.zeros(1 << self.LUT_BITS, dtype=bool)
+        elif (
+            cap != self._lut_cap
+            or int(arr.min()) < 0
+            or int(arr.max()) >= (1 << self.LUT_BITS)
+        ):
+            return False
+        lut = self._edge_lut
+        keys = (u.astype(np.int64) << self.LUT_BITS) | v
+        cids = lut[keys]
+        miss = cids < 0
+        if miss.any():
+            for i in np.flatnonzero(miss):
+                lut[keys[i]] = self._chan((int(u[i]), int(v[i])), cap)
+            cids = lut[keys]
+        self.rp_chan[off : off + n] = cids
+        scratch = self._dest_scratch
+        dl = list(destinations)
+        scratch[dl] = True
+        self.rp_dest[off : off + n] = scratch[v]
+        scratch[dl] = False
+        return True
+
+    def _block(self, w: int, cid: int) -> None:
+        q = self.waiters.get(cid)
+        if q is None:
+            q = self.waiters[cid] = []
+        q.append(w)
+        self.has_waiters[cid] = True
+        self._waiter_total += 1
+        self.counters.blocks += 1
+
+    def _wake(self, cid: int) -> None:
+        """Wake every waiter of ``cid`` FIFO: each re-attempts its
+        acquisition from the immediate lane, re-queueing if still
+        blocked (mirrors ``WormholeNetwork.release``)."""
+        q = self.waiters.get(cid)
+        if not q:
+            return
+        self.waiters[cid] = []
+        self.has_waiters[cid] = False
+        self._waiter_total -= len(q)
+        pend = self._pending
+        kinds = self.w_kind
+        for w in q:
+            pend.append((_TTICK, w) if kinds[w] == _TREE else (_STEP, w))
+        self.counters.wakes += len(q)
+
+    def _release_cid(self, cid: int) -> None:
+        self.in_use[cid] -= 1
+        if self._waiter_total:
+            self._wake(cid)
+
+    # ------------------------------------------------------------------
+    # Fault mask (vectorized FaultState queries).
+    # ------------------------------------------------------------------
+
+    def _sync_faults(self) -> None:
+        """Rebuild the per-channel ``chan_down`` mask for the current
+        fault-state version: a channel is down iff its link is down or
+        either endpoint node is down — the same predicate as
+        ``FaultState.channel_down``, evaluated as three array lookups."""
+        fs = self.fault_state
+        self._fault_version = fs._version
+        n = self.n_chan
+        if not (fs.down_links or fs.down_nodes):
+            self._any_down = False
+            self.chan_down[:n] = False
+            return
+        self._any_down = True
+        nd = self._node_down
+        nd[:] = False
+        for v in fs.down_nodes:
+            nd[self._node_index[v]] = True
+        ld = self._link_down
+        ld[:] = False
+        for uv in fs.down_links:
+            lid = self._link_ids.get(uv)
+            if lid is not None:
+                ld[lid] = True
+        self.chan_down[:n] = (
+            ld[self.ch_link[:n]] | nd[self.ch_u[:n]] | nd[self.ch_v[:n]]
+        )
+
+    def _check_faults(self) -> bool:
+        """True when any element is currently down (mask refreshed)."""
+        if self.fault_state._version != self._fault_version:
+            self._sync_faults()
+        return self._any_down
+
+    # ------------------------------------------------------------------
+    # Worm bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _grow_worms(self) -> None:
+        m = len(self.w_kind)
+        for name in ("w_kind", "w_idx", "w_len", "w_flits", "w_mid", "w_inj", "w_off"):
+            arr = getattr(self, name)
+            setattr(self, name, np.concatenate([arr, np.zeros(m, dtype=arr.dtype)]))
+        if self.faulty:
+            self.w_dead = np.concatenate([self.w_dead, np.zeros(m, dtype=bool)])
+            self.w_arrived = np.concatenate([self.w_arrived, np.zeros(m, dtype=bool)])
+
+    def _new_worm(self, kind: int, message_id: int, length: int, flits) -> int:
+        w = self.n_worms
+        if w == len(self.w_kind):
+            self._grow_worms()
+        self.n_worms = w + 1
+        self.w_kind[w] = kind
+        self.w_idx[w] = 0
+        self.w_len[w] = length
+        self.w_flits[w] = self.config.flits_per_message if flits is None else flits
+        self.w_mid[w] = message_id
+        self.w_inj[w] = self.tick if self.origin_tick is None else self.origin_tick
+        self.active_worms += 1
+        self.total_worms += 1
+        c = self.counters
+        c.worms += 1
+        if self.active_worms > c.max_active_worms:
+            c.max_active_worms = self.active_worms
+        if self.faulty:
+            self.w_delivered[w] = set()
+            self.live[w] = None
+        return w
+
+    def _finish(self, w: int) -> None:
+        self.active_worms -= 1
+        if self.faulty:
+            self.live.pop(w, None)
+
+    def _deliver(self, mid: int, node, inj_tick: int) -> None:
+        if self.faulty:
+            got = self.delivered_by_message.setdefault(mid, set())
+            if node in got:
+                return
+            got.add(node)
+            self.stats.delivered += 1
+        self.d_mid.append(mid)
+        self.d_node.append(node)
+        self.d_inj.append(inj_tick)
+        self.d_tick.append(self.tick)
+        self.counters.deliveries += 1
+
+    # ------------------------------------------------------------------
+    # Injection API (mirrors WormholeNetwork.inject_*).
+    # ------------------------------------------------------------------
+
+    def inject_path(
+        self,
+        message_id: int,
+        nodes,
+        destinations: set,
+        channel_key=None,
+        capacity: int | None = None,
+        flits: int | None = None,
+    ) -> int:
+        cap = capacity or self.config.channels_per_link
+        n = len(nodes) - 1
+        w = self._new_worm(_PATH, message_id, n, flits)
+        need = self.rp_used + n
+        # >= keeps one slack slot past rp_used so the batched pass may
+        # read (but never use) one position beyond a finished route
+        if need >= len(self.rp_chan):
+            extra = max(len(self.rp_chan), need - len(self.rp_chan))
+            self.rp_chan = np.concatenate([self.rp_chan, np.zeros(extra, dtype=np.int64)])
+            self.rp_dest = np.concatenate([self.rp_dest, np.zeros(extra, dtype=bool)])
+        off = self.rp_used
+        self.w_off[w] = off
+        self.rp_used = need
+        rp_chan = self.rp_chan
+        rp_dest = self.rp_dest
+        if channel_key is None:
+            # routes repeat whenever a source re-multicasts to the same
+            # destination set, so the interned channel-id/delivery-flag
+            # vectors are memoized and copied in as array slices
+            ck = (
+                nodes if type(nodes) is tuple else tuple(nodes),
+                frozenset(destinations),
+                cap,
+            )
+            hit = self._route_cache.get(ck)
+            if hit is None:
+                if n >= self.LUT_MIN_HOPS and self._intern_route(
+                    nodes, destinations, off, n, cap
+                ):
+                    pass
+                else:
+                    for i in range(n):
+                        rp_chan[off + i] = self._chan(
+                            (nodes[i], nodes[i + 1]), cap
+                        )
+                        rp_dest[off + i] = nodes[i + 1] in destinations
+                self._route_cache[ck] = (
+                    rp_chan[off : off + n].copy(),
+                    rp_dest[off : off + n].copy(),
+                )
+            else:
+                rp_chan[off : off + n] = hit[0]
+                rp_dest[off : off + n] = hit[1]
+            self.rp_head.extend(nodes[1:])
+        else:
+            heads = self.rp_head
+            for i in range(n):
+                u = nodes[i]
+                v = nodes[i + 1]
+                rp_chan[off + i] = self._chan(channel_key(u, v), cap)
+                rp_dest[off + i] = v in destinations
+                heads.append(v)
+        if self.faulty:
+            self.w_dests[w] = set(destinations)
+            self.w_src[w] = nodes[0]
+        if n == 0:  # degenerate: source-only path
+            self._finish(w)
+            return w
+        h = self._inject_hook
+        if h is not None:
+            # tick-vector scan in progress: record the first step as an
+            # op at the injection's calendar position instead of
+            # advancing inline — the batched pass executes it in order
+            h[0].append(w)
+            h[1].append(0)
+            h[2].append(-1)
+        else:
+            self._advance_path(w)
+        return w
+
+    def inject_adaptive_path(
+        self,
+        message_id: int,
+        source,
+        destinations,
+        labeling,
+        channel_key=lambda u, v: (u, v),
+        capacity: int | None = None,
+    ) -> int:
+        w = self._new_worm(_ADAPTIVE, message_id, 0, None)
+        st = _AdaptiveState(source, destinations, labeling, channel_key, capacity)
+        self.ad[w] = st
+        if self.faulty:
+            self.w_dests[w] = st.dests
+            self.w_src[w] = source
+        self._pop_reached(st)
+        if not st.queue:  # degenerate: the source is the only stop
+            self._finish(w)
+            return w
+        self._advance_adaptive(w)
+        return w
+
+    def inject_tree(
+        self,
+        message_id: int,
+        levels,
+        channel_key=lambda arc: (arc[0], arc[1]),
+        capacity: int | None = None,
+        flits: int | None = None,
+    ) -> "_TreeHandle":
+        chan_levels = [
+            [self._chan(channel_key(arc), capacity) for arc in level]
+            for level in levels
+        ]
+        w = self._new_worm(_TREE, message_id, len(levels), flits)
+        self.tree_chans[w] = chan_levels
+        self.tree_dests[w] = [set() for _ in levels]
+        handle = _TreeHandle(self, w)
+        if not levels:
+            self._finish(w)
+            return handle
+        self._try_tick(w)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Scalar kernels: path worms.
+    # ------------------------------------------------------------------
+
+    def _step_path(self, w: int) -> None:
+        if self.faulty and self.w_dead[w]:
+            return
+        if self.w_idx[w] < self.w_len[w]:
+            self._advance_path(w)
+        else:
+            self._arrive_path(w)
+
+    def _advance_path(self, w: int) -> None:
+        i = int(self.w_idx[w])
+        cid = int(self.rp_chan[self.w_off[w] + i])
+        if self.faulty and self._check_faults() and self.chan_down[cid]:
+            self._kill(w, "faulted channel on fixed path")
+            return
+        if self.in_use[cid] >= self.cap[cid]:
+            self._block(w, cid)
+            return
+        self.in_use[cid] += 1
+        self.w_idx[w] = i + 1
+        j = i - int(self.w_flits[w])
+        if j >= 0:
+            self._release_path_hop(w, j)
+        self._sched_step(w)
+
+    def _arrive_path(self, w: int) -> None:
+        if self.faulty:
+            self.w_arrived[w] = True
+        D = int(self.w_len[w])
+        F = int(self.w_flits[w])
+        pend = self._pending
+        for i in range(max(0, D - F), D):
+            d = i + F - D
+            if d == 0:
+                pend.append((_REL, w, i))
+            else:
+                self._at(d, (_REL, w, i))
+        if F == 1:
+            pend.append((_FIN, w))
+        else:
+            self._at(F - 1, (_FIN, w))
+
+    def _release_path_hop(self, w: int, i: int) -> None:
+        p = int(self.w_off[w] + i)
+        self._release_cid(int(self.rp_chan[p]))
+        if self.rp_dest[p]:
+            head = self.rp_head[p]
+            self._deliver(int(self.w_mid[w]), head, int(self.w_inj[w]))
+            if self.faulty:
+                self.w_delivered[w].add(head)
+
+    # ------------------------------------------------------------------
+    # Scalar kernels: adaptive path worms.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pop_reached(st: _AdaptiveState) -> None:
+        while st.queue and st.queue[0] == st.nodes[-1]:
+            st.queue.pop(0)
+
+    def _step_adaptive(self, w: int) -> None:
+        if self.faulty and self.w_dead[w]:
+            return
+        st = self.ad[w]
+        self._pop_reached(st)
+        if st.queue:
+            self._advance_adaptive(w)
+            return
+        if self.faulty:
+            self.w_arrived[w] = True
+        D = len(st.cids)
+        F = int(self.w_flits[w])
+        pend = self._pending
+        for i in range(max(0, D - F), D):
+            d = i + F - D
+            if d == 0:
+                pend.append((_REL, w, i))
+            else:
+                self._at(d, (_REL, w, i))
+        if F == 1:
+            pend.append((_FIN, w))
+        else:
+            self._at(F - 1, (_FIN, w))
+
+    def _advance_adaptive(self, w: int) -> None:
+        st = self.ad[w]
+        cur = st.nodes[-1]
+        target = st.queue[0]
+        candidates = st.labeling.route_candidates(cur, target)
+        detouring = False
+        if self.faulty and self._check_faults():
+            fs = self.fault_state
+            alive = [p for p in candidates if not fs.link_down(cur, p)]
+            detouring = len(alive) < len(candidates)
+            if detouring and not alive:
+                alive = [
+                    p
+                    for p in st.labeling.monotone_candidates(cur, target)
+                    if not fs.link_down(cur, p)
+                ]
+                if not alive:
+                    self._kill(w, "all monotone candidates faulted")
+                    return
+            candidates = alive
+        chosen = None
+        for p in candidates:
+            cid = self._chan(st.channel_key(cur, p), st.capacity)
+            if self.in_use[cid] < self.cap[cid]:
+                chosen = (p, cid)
+                break
+        if chosen is None:
+            # block on the most-preferred candidate's channel
+            cid = self._chan(st.channel_key(cur, candidates[0]), st.capacity)
+            self._block(w, cid)
+            return
+        if detouring:
+            self.stats.detoured += 1
+        nxt, cid = chosen
+        self.in_use[cid] += 1
+        st.cids.append(cid)
+        st.nodes.append(nxt)
+        i = len(st.cids) - 1
+        j = i - int(self.w_flits[w])
+        if j >= 0:
+            self._release_adaptive_hop(w, j)
+        self._at(1, (_STEP, w))
+
+    def _release_adaptive_hop(self, w: int, i: int) -> None:
+        st = self.ad[w]
+        self._release_cid(st.cids[i])
+        head = st.nodes[i + 1]
+        if head in st.dests:
+            self._deliver(int(self.w_mid[w]), head, int(self.w_inj[w]))
+            if self.faulty:
+                self.w_delivered[w].add(head)
+
+    # ------------------------------------------------------------------
+    # Scalar kernels: lockstep tree worms.
+    # ------------------------------------------------------------------
+
+    def _step_tree(self, w: int) -> None:
+        if self.faulty and self.w_dead[w]:
+            return
+        levels = self.tree_chans[w]
+        if self.w_idx[w] < len(levels):
+            self._try_tick(w)
+            return
+        if self.faulty:
+            self.w_arrived[w] = True
+        L = len(levels)
+        F = int(self.w_flits[w])
+        pend = self._pending
+        for idx in range(max(0, L - F), L):
+            d = idx + F - L
+            if d == 0:
+                pend.append((_TREL, w, idx))
+            else:
+                self._at(d, (_TREL, w, idx))
+        if F == 1:
+            pend.append((_FIN, w))
+        else:
+            self._at(F - 1, (_FIN, w))
+
+    def _try_tick(self, w: int) -> None:
+        k = int(self.w_idx[w])
+        level = self.tree_chans[w][k]
+        if self.faulty and self._check_faults():
+            for cid in level:
+                if self.chan_down[cid]:
+                    self._kill(w, "faulted channel in tree level")
+                    return
+        in_use = self.in_use
+        cap = self.cap
+        for cid in level:
+            if in_use[cid] >= cap[cid]:
+                self._block(w, cid)
+                return
+        for cid in level:
+            in_use[cid] += 1
+        self.w_idx[w] = k + 1
+        j = k - int(self.w_flits[w])
+        if j >= 0:
+            self._release_tree_level(w, j)
+        self._at(1, (_TTICK, w))
+
+    def _release_tree_level(self, w: int, idx: int) -> None:
+        for cid in self.tree_chans[w][idx]:
+            self._release_cid(cid)
+        mid = int(self.w_mid[w])
+        inj = int(self.w_inj[w])
+        for dest in self.tree_dests[w][idx]:
+            self._deliver(mid, dest, inj)
+        if self.faulty:
+            self.w_delivered[w].update(self.tree_dests[w][idx])
+
+    # ------------------------------------------------------------------
+    # Fault kills (mirrors FaultyWormholeNetwork).
+    # ------------------------------------------------------------------
+
+    def _held(self, w: int) -> list[int]:
+        kind = self.w_kind[w]
+        if kind == _PATH:
+            i = int(self.w_idx[w])
+            off = int(self.w_off[w])
+            lo = max(0, i - int(self.w_flits[w]))
+            return [int(c) for c in self.rp_chan[off + lo : off + i]]
+        if kind == _ADAPTIVE:
+            cids = self.ad[w].cids
+            return cids[max(0, len(cids) - int(self.w_flits[w])) :]
+        k = int(self.w_idx[w])
+        out: list[int] = []
+        for level in self.tree_chans[w][max(0, k - int(self.w_flits[w])) : k]:
+            out.extend(level)
+        return out
+
+    def _header_node(self, w: int):
+        kind = self.w_kind[w]
+        if kind == _PATH:
+            i = int(self.w_idx[w])
+            return self.w_src[w] if i == 0 else self.rp_head[int(self.w_off[w]) + i - 1]
+        if kind == _ADAPTIVE:
+            return self.ad[w].nodes[-1]
+        return None
+
+    def _hit_by(self, w: int, ev) -> bool:
+        keys = [self.chan_keys[c] for c in self._held(w)]
+        if ev.kind == "link":
+            u, v = ev.target
+            return any(k[0] == u and k[1] == v for k in keys)
+        node = ev.target
+        if self.w_kind[w] != _TREE and self._header_node(w) == node:
+            return True
+        return any(k[0] == node or k[1] == node for k in keys)
+
+    def on_element_failed(self, ev) -> None:
+        """Kill every in-flight worm holding a channel on the failed
+        element (injection order, like the reference network)."""
+        for w in tuple(self.live):
+            if not self.w_dead[w] and not self.w_arrived[w] and self._hit_by(w, ev):
+                self._kill(
+                    w,
+                    "link failed under worm" if ev.kind == "link"
+                    else "node failed under worm",
+                )
+
+    def _kill(self, w: int, reason: str) -> None:
+        if self.w_dead[w]:
+            return
+        self.w_dead[w] = True
+        self.stats.killed_worms += 1
+        for cid in self._held(w):
+            self._release_cid(cid)
+        if self.w_kind[w] == _TREE:
+            dests: set = set()
+            for level in self.tree_dests[w]:
+                dests.update(level)
+        else:
+            dests = set(self.w_dests[w])
+        dropped = dests - self.w_delivered[w]
+        self._finish(w)
+        if self.drop_handler is not None:
+            self.drop_handler(int(self.w_mid[w]), dropped, reason)
+
+    # ------------------------------------------------------------------
+    # Vectorized path-worm chunks.
+    # ------------------------------------------------------------------
+
+    def _process_chunk(self, chunk: list) -> None:
+        """Advance a chunk of consecutive path-worm steps.
+
+        Splits into maximal runs of movers (mid-route) and arrivals
+        (route complete), preserving the chunk's order — a mover and an
+        arrival have different side effects, so runs may not be
+        reordered across each other."""
+        ws = np.asarray(chunk, dtype=np.int64)
+        at_end = self.w_idx[ws] == self.w_len[ws]
+        if not at_end.any():
+            self._run_movers(ws)
+            return
+        if at_end.all():
+            self._run_arrivals(ws)
+            return
+        change = np.flatnonzero(np.diff(at_end)) + 1
+        start = 0
+        for end in [*change.tolist(), len(ws)]:
+            seg = ws[start:end]
+            if at_end[start]:
+                self._run_arrivals(seg)
+            else:
+                self._run_movers(seg)
+            start = end
+
+    def _run_movers(self, ws: np.ndarray) -> None:
+        c = self.counters
+        if len(ws) < self.BATCH_MIN:
+            for w in ws.tolist():
+                self._advance_path(w)
+            c.events += len(ws)
+            return
+        idx = self.w_idx[ws]
+        off = self.w_off[ws]
+        fl = self.w_flits[ws]
+        nxt = self.rp_chan[off + idx]
+        relhop = idx - fl
+        hasrel = relhop >= 0
+        relch = self.rp_chan[(off + relhop)[hasrel]]
+        # Interaction guard: if two worms in this run touch the same
+        # channel (acquire/acquire or acquire/release), the outcome
+        # depends on their order — replay the run through the ordered
+        # scalar path.  Distinct channels commute, so the bulk ops
+        # below reproduce the scalar order exactly.
+        uniq, counts = np.unique(nxt, return_counts=True)
+        if (counts > 1).any() or (len(relch) and np.isin(uniq, relch).any()):
+            for w in ws.tolist():
+                self._advance_path(w)
+            c.events += len(ws)
+            c.scalar_fallback_events += len(ws)
+            return
+        free = self.in_use[nxt] < self.cap[nxt]
+        if free.all():
+            mv, mch, moff, midx, mrelhop, mhasrel = ws, nxt, off, idx, relhop, hasrel
+        else:
+            blocked = np.flatnonzero(~free)
+            for j in blocked.tolist():
+                self._block(int(ws[j]), int(nxt[j]))
+            sel = np.flatnonzero(free)
+            mv = ws[sel]
+            mch = nxt[sel]
+            moff = off[sel]
+            midx = idx[sel]
+            mrelhop = relhop[sel]
+            mhasrel = hasrel[sel]
+            if not len(mv):
+                c.batched_events += len(ws)
+                c.batches += 1
+                return
+        self.in_use[mch] += 1  # unique per the interaction guard
+        self.w_idx[mv] = midx + 1
+        if mhasrel.any():
+            rsel = np.flatnonzero(mhasrel)
+            rpos = moff[rsel] + mrelhop[rsel]
+            rch = self.rp_chan[rpos]
+            np.subtract.at(self.in_use, rch, 1)
+            if self._waiter_total:
+                for cid in rch.tolist():
+                    self._wake(cid)
+            dmask = self.rp_dest[rpos]
+            if dmask.any():
+                dj = np.flatnonzero(dmask)
+                mids = self.w_mid[mv[rsel[dj]]]
+                injs = self.w_inj[mv[rsel[dj]]]
+                for mid, inj, p in zip(mids.tolist(), injs.tolist(), rpos[dj].tolist()):
+                    self._deliver(mid, self.rp_head[p], inj)
+        # next steps, in run order, as one chunk
+        b = self._bucket(self.tick + 1)
+        steps = mv.tolist()
+        if b and type(b[-1]) is list:
+            b[-1].extend(steps)
+        else:
+            b.append(steps)
+        c.batched_events += len(ws)
+        c.batches += 1
+        if len(ws) > c.max_batch_width:
+            c.max_batch_width = len(ws)
+
+    def _run_arrivals(self, ws: np.ndarray) -> None:
+        c = self.counters
+        if len(ws) < self.BATCH_MIN:
+            for w in ws.tolist():
+                self._arrive_path(w)
+            c.events += len(ws)
+            return
+        D = self.w_len[ws]
+        F = self.w_flits[ws]
+        pend = self._pending
+        # drain: hop D-F+d releases at delay d; group the run by delay,
+        # preserving worm order inside each group
+        for d in range(int(F.max())):
+            el = (F > d) & (D + d - F >= 0)
+            if not el.any():
+                continue
+            sub = ws[el]
+            hops = (D + d - F)[el]
+            if d == 0:
+                pend.append((_BREL, sub, hops))
+            else:
+                self._at(d, (_BREL, sub, hops))
+        for fv in np.unique(F).tolist():
+            sub = ws[F == fv]
+            if fv == 1:
+                pend.append((_BFIN, sub))
+            else:
+                self._at(fv - 1, (_BFIN, sub))
+        c.batched_events += len(ws)
+        c.batches += 1
+        if len(ws) > c.max_batch_width:
+            c.max_batch_width = len(ws)
+
+    def _process_brel(self, ws: np.ndarray, hops: np.ndarray) -> None:
+        pos = self.w_off[ws] + hops
+        rch = self.rp_chan[pos]
+        np.subtract.at(self.in_use, rch, 1)
+        if self._waiter_total:
+            for cid in rch.tolist():
+                self._wake(cid)
+        dmask = self.rp_dest[pos]
+        if dmask.any():
+            dj = np.flatnonzero(dmask)
+            mids = self.w_mid[ws[dj]]
+            injs = self.w_inj[ws[dj]]
+            for mid, inj, p in zip(mids.tolist(), injs.tolist(), pos[dj].tolist()):
+                self._deliver(mid, self.rp_head[p], inj)
+        self.counters.batched_events += len(ws)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> bool:
+        """Run the calendar dry.  Returns True if every worm finished;
+        False indicates deadlock (blocked worms, no pending events)."""
+        buckets = self.buckets
+        heap = self.tick_heap
+        c = self.counters
+        tickvec = self.tickvec
+        while heap:
+            t = heapq.heappop(heap)
+            pending = buckets.pop(t)
+            self.tick = t
+            self._pending = pending
+            c.ticks += 1
+            if tickvec:
+                self._run_tick_vec(pending)
+            else:
+                self._run_classic(pending, 0)
+        self._pending = []
+        return self.active_worms == 0
+
+    def _run_classic(self, pending: list, i: int) -> None:
+        """Dispatch ``pending[i:]`` (live — entries may append) one
+        event at a time, in exact reference order."""
+        c = self.counters
+        step_path = self._step_path
+        step_adaptive = self._step_adaptive
+        faulty = self.faulty
+        while i < len(pending):
+            e = pending[i]
+            i += 1
+            if type(e) is list:
+                self._process_chunk(e)
+                continue
+            k = e[0]
+            if k == _STEP:
+                w = e[1]
+                # NB: self.w_kind is re-read per event — _new_worm
+                # reallocates the worm arrays when they grow
+                if self.w_kind[w] == _PATH:
+                    step_path(w)
+                else:
+                    step_adaptive(w)
+                c.events += 1
+            elif k == _REL:
+                w = e[1]
+                if not (faulty and self.w_dead[w]):
+                    if self.w_kind[w] == _ADAPTIVE:
+                        self._release_adaptive_hop(w, e[2])
+                    else:
+                        self._release_path_hop(w, e[2])
+                c.events += 1
+            elif k == _ARR:
+                self._arrive_path(e[1])
+                c.events += 1
+            elif k == _BREL:
+                self._process_brel(e[1], e[2])
+            elif k == _BFIN:
+                self.active_worms -= len(e[1])
+                c.batched_events += len(e[1])
+            elif k == _FIN:
+                self._finish(e[1])
+                c.events += 1
+            elif k == _TTICK:
+                self._step_tree(e[1])
+                c.events += 1
+            elif k == _TREL:
+                w = e[1]
+                if not (faulty and self.w_dead[w]):
+                    self._release_tree_level(w, e[2])
+                c.events += 1
+            elif k == _CALL:
+                e[1](*e[2])
+                c.events += 1
+            else:  # _DEFER: join the end of the immediate lane
+                pending.append((_CALL, e[1], e[2]))
+
+    # ------------------------------------------------------------------
+    # Tick-vector dispatch (path-worm-only runs).
+    # ------------------------------------------------------------------
+    #
+    # One tick is processed in rounds; a round is the slice of the
+    # bucket present when it starts (releases that wake waiters and
+    # same-tick drain releases append behind it and form the next
+    # round, exactly as the reference's immediate lane runs after the
+    # already-queued events).  Each round makes three passes:
+    #
+    # 1. scan — gather step/release ops in calendar order; injections
+    #    (_CALL) run inline and record their first step through
+    #    ``_inject_hook`` so it keeps its calendar position.
+    # 2. classify + batch — a channel is *dirty* this round if it has
+    #    waiters, is touched by more than one op, or is a busy mover
+    #    target; everything else is *clean*.  Clean ops touch disjoint
+    #    free channels, so they commute: one set of array ops applies
+    #    all their acquisitions and releases at once.
+    # 3. emit — walk the ops once more in calendar order: dirty ops run
+    #    the exact scalar kernels at their original position (blocking,
+    #    FIFO wakes and kernel-order emission included), clean ops just
+    #    append their pre-computed deliveries and next-tick steps.
+    #
+    # Order-sensitive interactions only ever involve dirty channels,
+    # and every op touching one executes in exact calendar order, so
+    # the dispatch stays event-for-event equal to the reference.
+
+    def _run_tick_vec(self, pending: list) -> None:
+        c = self.counters
+        start = 0
+        while start < len(pending):
+            end = len(pending)
+            ow: list[int] = []
+            ocode: list[int] = []
+            oarg: list[int] = []
+            self._round_defers = []
+            self._inject_hook = (ow, ocode, oarg)
+            i = start
+            fallback = False
+            while i < end:
+                e = pending[i]
+                i += 1
+                if type(e) is list:
+                    ow.extend(e)
+                    k = len(e)
+                    ocode.extend([0] * k)
+                    oarg.extend([-1] * k)
+                    continue
+                k = e[0]
+                if k == _REL:
+                    ow.append(e[1])
+                    ocode.append(1)
+                    oarg.append(e[2])
+                elif k == _ARR:
+                    ow.append(e[1])
+                    ocode.append(2)
+                    oarg.append(-1)
+                elif k == _STEP:
+                    w = e[1]
+                    if self.w_kind[w] != _PATH:
+                        i -= 1
+                        fallback = True
+                        break
+                    ow.append(w)
+                    ocode.append(0)
+                    oarg.append(-1)
+                elif k == _FIN:
+                    self._finish(e[1])
+                    c.events += 1
+                elif k == _CALL:
+                    e[1](*e[2])
+                    c.events += 1
+                else:
+                    i -= 1
+                    fallback = True
+                    break
+            self._inject_hook = None
+            self._exec_ops(ow, ocode, oarg)
+            if fallback:
+                # foreign entry (tree/adaptive/deferred work): finish
+                # the tick through the ordered scalar dispatcher
+                self._run_classic(pending, i)
+                return
+            start = end
+
+    def _exec_ops(self, ow: list, ocode: list, oarg: list) -> None:
+        n_ops = len(ow)
+        defs = self._round_defers
+        if not n_ops:
+            for _, dtk, dent in defs:
+                self._bucket(dtk).append(dent)
+            return
+        c = self.counters
+        nd = len(defs)
+        if n_ops < self.BATCH_MIN:
+            di = 0
+            for r, (w, kd, a) in enumerate(zip(ow, ocode, oarg)):
+                while di < nd and defs[di][0] <= r:
+                    _, dtk, dent = defs[di]
+                    di += 1
+                    self._bucket(dtk).append(dent)
+                if kd == 0:
+                    self._advance_path(w)
+                elif kd == 1:
+                    self._release_path_hop(w, a)
+                else:
+                    self._arrive_path(w)
+            while di < nd:
+                _, dtk, dent = defs[di]
+                di += 1
+                self._bucket(dtk).append(dent)
+            c.events += n_ops
+            return
+        wv = np.array(ow, dtype=np.int64)
+        code = np.array(ocode, dtype=np.int8)
+        arg = np.array(oarg, dtype=np.int64)
+        mvmask = code == 0
+        relmask = code == 1
+        off = self.w_off[wv]
+        idx = self.w_idx[wv]
+        F = self.w_flits[wv]
+        wlen = self.w_len[wv]
+        # positions are computed unmasked: rows of the wrong kind read
+        # garbage that every later use masks out, and the reads stay in
+        # bounds (the route pool keeps a slack slot, and negative
+        # offsets stay within numpy's wrap-around range)
+        target = self.rp_chan[off + idx]
+        tail_hop = idx - F
+        has_tail = mvmask & (tail_hop >= 0)
+        tailpos = off + tail_hop
+        tailch = self.rp_chan[tailpos]
+        rpos = off + arg
+        relch = self.rp_chan[rpos]
+        busy = self.in_use[target] >= self.cap[target]
+        acq = target[mvmask]
+        touched = np.concatenate([acq, tailch[has_tail], relch[relmask]])
+        srt = np.sort(touched)
+        dup = srt[1:][srt[1:] == srt[:-1]]
+        fast = dup.size == 0
+        if fast and self._waiter_total:
+            # releases into channels with waiters must run the scalar
+            # wake path; a blocked mover merely joins the queue, so
+            # only the release streams force the full census below
+            h = self.has_waiters
+            fast = not (
+                bool(h[tailch[has_tail]].any())
+                or bool(h[relch[relmask]].any())
+            )
+        if fast:
+            # common case: every touched channel is touched exactly
+            # once — busy mover targets block deterministically (no
+            # release can free them this round), everything else
+            # commutes
+            rd = np.zeros(n_ops, dtype=bool)
+            blkrow = mvmask & busy
+        else:
+            # a channel is order-sensitive (dirty) when it has waiters
+            # or several same-kind touches.  One acquire plus one
+            # release commutes when the channel has capacity slack (the
+            # acquire succeeds against round-start occupancy either
+            # way); at capacity, a release-before-acquire handoff still
+            # batches provided the releasing row itself is batched —
+            # resolved below with one pass over the pairs in acquire
+            # order, so convoy chains settle front to back.
+            uniq, inv = np.unique(touched, return_inverse=True)
+            na = int(acq.size)
+            mvrows = np.flatnonzero(mvmask)
+            tailrows = np.flatnonzero(has_tail)
+            relrows = np.flatnonzero(relmask)
+            nt = tailrows.size
+            acq_cnt = np.bincount(inv[:na], minlength=uniq.size)
+            rel_cnt = np.bincount(inv[na:], minlength=uniq.size)
+            acq_pos = np.bincount(
+                inv[:na], weights=mvrows, minlength=uniq.size
+            )
+            rel_pos = np.bincount(
+                inv[na:],
+                weights=np.concatenate([tailrows, relrows]),
+                minlength=uniq.size,
+            )
+            multi_u = (acq_cnt > 1) | (rel_cnt > 1)
+            full_u = self.in_use[uniq] >= self.cap[uniq]
+            # a full channel with no release this round rejects every
+            # acquire: its movers block deterministically in row order
+            # (joining any existing waiter queue is fine — FIFO
+            # position only depends on enqueue order)
+            blk_u = full_u & (rel_cnt == 0)
+            pairable = (acq_cnt == 1) & (rel_cnt == 1) & ~multi_u & full_u
+            # <= so a worm whose head reaches its own held tail channel
+            # blocks exactly as the reference does (check-then-release)
+            acq_first = acq_pos <= rel_pos
+            pair_u = pairable & ~acq_first  # release hands the slot on
+            # acquire runs first and loses: the mover blocks, and the
+            # release must run scalar so its wake catches the fresh
+            # waiter enqueued earlier in the emission walk
+            blk2_u = pairable & acq_first
+            bad_u = multi_u
+            if self._waiter_total:
+                # releases into channels with waiters take the scalar
+                # wake path; acquires need no care — the reference lets
+                # a same-round acquire beat woken waiters, which only
+                # retry next round
+                bad_u = bad_u | self.has_waiters[uniq]
+            mv_inv = inv[:na]
+            tail_inv = inv[na : na + nt]
+            rel_inv = inv[na + nt :]
+            mv_blk = blk_u[mv_inv] | blk2_u[mv_inv]
+            blkrow = np.zeros(n_ops, dtype=bool)
+            blkrow[mvmask] = mv_blk
+            rd = np.zeros(n_ops, dtype=bool)
+            rd[mvmask] = (
+                multi_u[mv_inv] | (busy[mvmask] & ~pair_u[mv_inv])
+            ) & ~mv_blk
+            rd[has_tail] |= bad_u[tail_inv] | blk2_u[tail_inv]
+            rd[relmask] |= bad_u[rel_inv] | blk2_u[rel_inv]
+            pu = np.flatnonzero(pair_u)
+            if pu.size:
+                qa = acq_pos[pu].astype(np.int64).tolist()
+                pr = rel_pos[pu].astype(np.int64).tolist()
+                for q, p in sorted(zip(qa, pr)):
+                    # the handoff needs its release to actually run: a
+                    # blocked or dirty releasing *mover* may keep the
+                    # slot, while a scalar pure release always releases
+                    # (a wake-path release still frees the slot)
+                    if blkrow[p] or (rd[p] and ocode[p] != 1):
+                        rd[q] = True
+        scalar_rows = rd | (code == 2)
+        # batch the clean state transitions (channels are unique across
+        # every clean acquire and release, so plain fancy indexing is a
+        # correct scatter)
+        cm = mvmask & ~rd & ~blkrow
+        cmw = wv[cm]
+        if cmw.size:
+            self.in_use[target[cm]] += 1
+            self.w_idx[cmw] = idx[cm] + 1
+        # a blocked mover does not advance, so it keeps (and does not
+        # release) its tail channel
+        ct = has_tail & ~rd & ~blkrow
+        if ct.any():
+            self.in_use[tailch[ct]] -= 1
+        cr = relmask & ~rd
+        if cr.any():
+            self.in_use[relch[cr]] -= 1
+        dlv = (ct & self.rp_dest[tailpos]) | (cr & self.rp_dest[rpos])
+        dpos = np.where(ct, tailpos, rpos)
+        nend = cm & (idx + 1 == wlen)
+        n_scalar = int(scalar_rows.sum())
+        n_clean = n_ops - n_scalar
+        c.events += n_scalar
+        c.scalar_fallback_events += int(rd.sum())
+        if n_clean:
+            c.batched_events += n_clean
+            c.batches += 1
+            if n_clean > c.max_batch_width:
+                c.max_batch_width = n_clean
+        # emission pass, in calendar order.  Runs of clean,
+        # non-delivering, non-ending movers dominate and are appended to
+        # the next tick's chunk as C-speed list slices; only "special"
+        # rows — scalar, releasing, delivering, or route-ending — are
+        # visited one by one.  Clean releases emit nothing at t+1, so a
+        # chunk stays open across them.
+        tick1 = self.tick + 1
+        b1 = None
+        chunk = None
+        special = scalar_rows | relmask | dlv | nend | blkrow
+        spl = np.flatnonzero(special).tolist()
+        scalar_l = scalar_rows.tolist()
+        blk_l = blkrow.tolist()
+        dlv_l = dlv.tolist()
+        nend_l = nend.tolist()
+        prev = 0
+        di = 0
+        for r in spl:
+            while di < nd and defs[di][0] <= r:
+                # replay a scheduling call captured during the scan at
+                # its calendar position (splitting any open clean run
+                # so bucket order matches the reference kernel's)
+                dp, dtk, dent = defs[di]
+                di += 1
+                if dp > prev:
+                    run = ow[prev:dp]
+                    if chunk is not None:
+                        chunk.extend(run)
+                    else:
+                        chunk = run
+                        if b1 is None:
+                            b1 = self._bucket(tick1)
+                        b1.append(chunk)
+                    prev = dp
+                self._bucket(dtk).append(dent)
+                chunk = None
+            if r > prev:
+                run = ow[prev:r]
+                if chunk is not None:
+                    chunk.extend(run)
+                else:
+                    chunk = run
+                    if b1 is None:
+                        b1 = self._bucket(tick1)
+                    b1.append(chunk)
+            prev = r + 1
+            w = ow[r]
+            kd = ocode[r]
+            if scalar_l[r]:
+                chunk = None
+                if kd == 0:
+                    self._advance_path(w)
+                elif kd == 1:
+                    self._release_path_hop(w, oarg[r])
+                else:
+                    self._arrive_path(w)
+            elif blk_l[r]:
+                # deterministically rejected acquire: enqueue as a
+                # waiter (row order preserves FIFO) and emit nothing
+                self._block(w, int(target[r]))
+            elif kd == 0:
+                if dlv_l[r]:
+                    self._deliver(
+                        int(self.w_mid[w]),
+                        self.rp_head[int(dpos[r])],
+                        int(self.w_inj[w]),
+                    )
+                if nend_l[r]:
+                    if b1 is None:
+                        b1 = self._bucket(tick1)
+                    b1.append((_ARR, w))
+                    chunk = None
+                elif chunk is not None:
+                    chunk.append(w)
+                else:
+                    chunk = [w]
+                    if b1 is None:
+                        b1 = self._bucket(tick1)
+                    b1.append(chunk)
+            elif dlv_l[r]:
+                self._deliver(
+                    int(self.w_mid[w]),
+                    self.rp_head[int(dpos[r])],
+                    int(self.w_inj[w]),
+                )
+        while di < nd:
+            dp, dtk, dent = defs[di]
+            di += 1
+            if dp > prev:
+                run = ow[prev:dp]
+                if chunk is not None:
+                    chunk.extend(run)
+                else:
+                    chunk = run
+                    if b1 is None:
+                        b1 = self._bucket(tick1)
+                    b1.append(chunk)
+                prev = dp
+            self._bucket(dtk).append(dent)
+            chunk = None
+        if n_ops > prev:
+            run = ow[prev:]
+            if chunk is not None:
+                chunk.extend(run)
+            else:
+                if b1 is None:
+                    b1 = self._bucket(tick1)
+                b1.append(run)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Engine counters plus table sizes, as a plain dict (the same
+        shape as ``Topology.cache_stats``)."""
+        out = self.counters.to_dict()
+        out["channels"] = self.n_chan
+        out["route_pool_used"] = int(self.rp_used)
+        return out
+
+    def latencies(self, cutoff: float) -> list[float]:
+        """Per-delivery latency (seconds) for messages after the warmup
+        ``cutoff``, in delivery order."""
+        tf = self.tf
+        # computed as delivered_at - injected_at (not (t - inj) * tf) so
+        # the floats match the reference model's Delivery.latency
+        return [
+            t * tf - inj * tf
+            for mid, inj, t in zip(self.d_mid, self.d_inj, self.d_tick)
+            if mid > cutoff
+        ]
+
+    def deliveries(self):
+        """The delivery stream as reference-model ``Delivery`` objects."""
+        from .reference import Delivery
+
+        tf = self.tf
+        return [
+            Delivery(mid, node, inj * tf, t * tf)
+            for mid, node, inj, t in zip(
+                self.d_mid, self.d_node, self.d_inj, self.d_tick
+            )
+        ]

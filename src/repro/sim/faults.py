@@ -39,7 +39,7 @@ from collections.abc import Hashable
 
 from .config import SimConfig
 from .kernel import Environment
-from .network import AdaptivePathWorm, PathWorm, TreeWorm, WormholeNetwork
+from .reference import AdaptivePathWorm, PathWorm, TreeWorm, WormholeNetwork
 from .stats import SimStats
 
 __all__ = [
@@ -122,6 +122,22 @@ class FaultPlan:
             schedule_element("node", node)
         events.sort(key=lambda ev: ev.time)
         return cls(events=tuple(events), horizon=horizon)
+
+    def quantized(self, config: SimConfig) -> "FaultPlan":
+        """The same schedule with every event time snapped to the
+        flit-time grid (``SimConfig.quantize``).  Quantization is
+        monotone, so the events stay time-sorted and ties keep plan
+        order — this is what puts a reference-engine resilient run on
+        the dense engine's integer flit clock."""
+        if not self.events:
+            return self
+        return FaultPlan(
+            events=tuple(
+                FaultEvent(config.quantize(ev.time), ev.kind, ev.target, ev.down)
+                for ev in self.events
+            ),
+            horizon=self.horizon,
+        )
 
     @classmethod
     def from_config(cls, topology, config: SimConfig) -> "FaultPlan":
@@ -267,8 +283,12 @@ class FaultyWormholeNetwork(WormholeNetwork):
         super().__init__(env, config)
         self.fault_state = fault_state or FaultState()
         self.stats = stats or SimStats()
-        #: worms in flight (registered by the faulty worm constructors)
-        self.live: set = set()
+        #: worms in flight (registered by the faulty worm constructors).
+        #: A dict-as-ordered-set: iteration (and hence the kill order
+        #: when one fault hits several worms) follows injection order,
+        #: which is reproducible across processes and engines — a plain
+        #: set would iterate in id() order, which is allocator-dependent
+        self.live: dict = {}
         #: per-message set of destinations reached so far
         self.delivered_by_message: dict = {}
         #: ``fn(message_id, undelivered_dests, reason)`` invoked when a
@@ -293,7 +313,7 @@ class FaultyWormholeNetwork(WormholeNetwork):
 
     def finish(self, worm) -> None:
         super().finish(worm)
-        self.live.discard(worm)
+        self.live.pop(worm, None)
 
     def on_element_failed(self, ev: FaultEvent) -> None:
         """Kill every in-flight worm holding a channel on the failed
@@ -338,7 +358,7 @@ class FaultyPathWorm(PathWorm):
         self.delivered: set = set()
         if net.origin_time is not None:
             self.injected_at = net.origin_time
-        net.live.add(self)
+        net.live[self] = None
 
     def _try_advance(self) -> None:
         if self.dead:
@@ -398,7 +418,7 @@ class FaultyAdaptivePathWorm(AdaptivePathWorm):
         self.delivered: set = set()
         if net.origin_time is not None:
             self.injected_at = net.origin_time
-        net.live.add(self)
+        net.live[self] = None
 
     def _try_advance(self) -> None:
         if self.dead:
@@ -499,7 +519,7 @@ class FaultyTreeWorm(TreeWorm):
         self.delivered: set = set()
         if net.origin_time is not None:
             self.injected_at = net.origin_time
-        net.live.add(self)
+        net.live[self] = None
 
     def _try_tick(self) -> None:
         if self.dead:

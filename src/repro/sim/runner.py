@@ -9,6 +9,15 @@ is summarised by batch means.
 :func:`run_static_scenario` injects a fixed set of multicasts at time
 zero and reports whether they complete — the §6.1 deadlock
 demonstrations run through it.
+
+Every driver takes ``engine=``: ``"reference"`` steps one worm object
+per event through the kernel (:mod:`repro.sim.reference`), ``"dense"``
+advances all worms as flat arrays on an integer flit clock
+(:mod:`repro.sim.dense`).  Both consume the same RNG draw sequence; with
+``SimConfig(quantize_arrivals=True)`` they agree event for event (the
+parity suite asserts identical delivery streams).  Worm styles without
+a dense kernel (``vct-tree``) transparently fall back to the reference
+engine on the dense engine's flit-time grid.
 """
 
 from __future__ import annotations
@@ -20,15 +29,28 @@ from ..models.request import MulticastRequest
 from ..topology.base import Topology
 from ..wormhole.fault_tolerance import Unroutable
 from .config import SimConfig
+from .dense import DenseEngine
 from .faults import FaultPlan, FaultState, FaultyWormholeNetwork
 from .kernel import Environment, Timeout
 from .network import WormholeNetwork
 from .stats import SimStats, Summary, batch_means
 from .traffic import AdaptiveSpec, PathSpec, Router, TreeSpec, VCTTreeSpec
 
+ENGINES = ("reference", "dense")
+
 
 class DeadlockDetected(RuntimeError):
     """The simulation stalled with unfinished worms and no events."""
+
+
+def _check_engine(engine: str, env_factory=Environment) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "dense" and env_factory is not Environment:
+        raise ValueError(
+            "engine='dense' runs its own integer-tick calendar; "
+            "env_factory only applies to the reference engine"
+        )
 
 
 @dataclass(frozen=True)
@@ -40,13 +62,18 @@ class DynamicResult:
     deliveries: int
     sim_time: float
     worms: int = 0
+    #: simulation engine that produced this result
+    engine: str = "reference"
+    #: dense-engine counters (``DenseEngine.cache_stats()``); None for
+    #: reference runs
+    engine_stats: dict | None = None
 
     @property
     def mean_latency(self) -> float:
         return self.latency.mean
 
 
-def inject_specs(net: WormholeNetwork, message_id: int, specs, capacity: int, router: "Router | None" = None) -> None:
+def inject_specs(net, message_id: int, specs, capacity: int, router: "Router | None" = None) -> None:
     for spec in specs:
         if isinstance(spec, PathSpec):
             flits = (
@@ -102,12 +129,31 @@ def inject_specs(net: WormholeNetwork, message_id: int, specs, capacity: int, ro
             raise TypeError(f"unknown worm spec {spec!r}")
 
 
+def _make_router(topology, scheme, config, fault_state=None) -> Router:
+    return Router(
+        topology,
+        scheme,
+        channels_per_link=config.channels_per_link,
+        fault_state=fault_state,
+    )
+
+
+def _dense_fallback(router: Router) -> bool:
+    """Whether the routed worm style lacks a dense kernel (VCT trees
+    buffer whole messages at nodes, which the flat channel-occupancy
+    model does not represent)."""
+    # capability check: "vct-tree" here is the worm_style, which happens
+    # to share its spelling with the scheme name
+    return router.spec.worm_style == "vct-tree"  # lint: ignore[no-registry-bypass]
+
+
 def run_dynamic(
     topology: Topology,
     scheme: str,
     config: SimConfig,
     router: Router | None = None,
     env_factory=Environment,
+    engine: str = "reference",
 ) -> DynamicResult:
     """Simulate Poisson multicast traffic under one routing scheme.
 
@@ -120,12 +166,17 @@ def run_dynamic(
     bit-identical results (the benchmark and parity suites exercise
     both).
     """
+    _check_engine(engine, env_factory)
+    if engine == "dense":
+        router = router or _make_router(topology, scheme, config)
+        if _dense_fallback(router):
+            config = config.replace(quantize_arrivals=True)
+        else:
+            return _run_dynamic_dense(topology, scheme, config, router)
     env = env_factory()
     net = WormholeNetwork(env, config)
     rng = random.Random(config.seed)
-    router = router or Router(
-        topology, scheme, channels_per_link=config.channels_per_link
-    )
+    router = router or _make_router(topology, scheme, config)
     nodes = list(topology.nodes())
     n = len(nodes)
     state = {"injected": 0}
@@ -141,6 +192,7 @@ def run_dynamic(
     k = config.num_destinations
     index_map = topology.index_map()
     schedule = env.schedule
+    q = config.quantize if config.quantize_arrivals else None
 
     def draw_destinations(source):
         chosen: set = set()
@@ -160,10 +212,12 @@ def run_dynamic(
         # the source — the trusted constructor skips re-checking that.
         request = MulticastRequest.trusted(topology, node, draw_destinations(node))
         inject_specs(net, mid, router(request), path_capacity, router)
-        schedule(expovariate(arrival_rate), inject_from, node)
+        delay = expovariate(arrival_rate)
+        schedule(q(delay) if q else delay, inject_from, node)
 
     for node in nodes:
-        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+        delay = rng.expovariate(1.0 / config.mean_interarrival)
+        env.schedule(q(delay) if q else delay, inject_from, node)
 
     completed = net.run_to_completion()
     if not completed:
@@ -179,6 +233,70 @@ def run_dynamic(
         deliveries=len(net.deliveries),
         sim_time=env.now,
         worms=net.total_worms,
+    )
+
+
+def _run_dynamic_dense(
+    topology: Topology, scheme: str, config: SimConfig, router: Router
+) -> DynamicResult:
+    """:func:`run_dynamic` on the structure-of-arrays engine.
+
+    Duplicates the reference driver's RNG draw order exactly; delays
+    land on the integer flit clock via :meth:`SimConfig.ticks` (the
+    same grid ``quantize_arrivals`` puts the reference engine on)."""
+    eng = DenseEngine(config)
+    # every worm in a star/vc-star run is a path worm, which licenses
+    # the engine's tick-level vectorized dispatch
+    eng.tickvec = eng.vectorize and router.spec.worm_style in ("star", "vc-star")
+    rng = random.Random(config.seed)
+    nodes = list(topology.nodes())
+    n = len(nodes)
+    state = {"injected": 0}
+    path_capacity = config.channels_per_link
+
+    randrange = rng.randrange
+    expovariate = rng.expovariate
+    arrival_rate = 1.0 / config.mean_interarrival
+    num_messages = config.num_messages
+    k = config.num_destinations
+    index_map = topology.index_map()
+    ticks = config.ticks
+
+    def draw_destinations(source):
+        chosen: set = set()
+        src_i = index_map[source]
+        while len(chosen) < k:
+            i = randrange(n)
+            if i != src_i:
+                chosen.add(i)
+        return tuple(nodes[i] for i in sorted(chosen))
+
+    def inject_from(node):
+        if state["injected"] >= num_messages:
+            return
+        state["injected"] += 1
+        mid = state["injected"]
+        request = MulticastRequest.trusted(topology, node, draw_destinations(node))
+        inject_specs(eng, mid, router(request), path_capacity, router)
+        eng.call_in(ticks(expovariate(arrival_rate)), inject_from, node)
+
+    for node in nodes:
+        eng.call_in(ticks(rng.expovariate(1.0 / config.mean_interarrival)), inject_from, node)
+
+    if not eng.run():
+        raise DeadlockDetected(
+            f"{eng.active_worms} worms blocked with an empty event calendar"
+        )
+
+    cutoff = config.num_messages * config.warmup_fraction
+    return DynamicResult(
+        latency=batch_means(eng.latencies(cutoff)),
+        injected_messages=state["injected"],
+        deliveries=len(eng.d_mid),
+        sim_time=eng.now,
+        worms=eng.total_worms,
+        engine="dense",
+        engine_stats=eng.cache_stats(),
     )
 
 
@@ -199,6 +317,8 @@ class FaultResult:
     worms: int
     stats: SimStats
     expected_deliveries: int
+    engine: str = "reference"
+    engine_stats: dict | None = None
 
     @property
     def mean_latency(self) -> float:
@@ -215,6 +335,7 @@ def run_resilient(
     config: SimConfig,
     plan: FaultPlan | None = None,
     env_factory=Environment,
+    engine: str = "reference",
 ) -> FaultResult:
     """:func:`run_dynamic` under fault injection with resilient
     delivery.
@@ -234,19 +355,26 @@ def run_resilient(
     zero fault rates the result matches :func:`run_dynamic` event for
     event (the parity suite asserts this).
     """
-    env = env_factory()
-    stats = SimStats()
+    _check_engine(engine, env_factory)
     if plan is None:
         plan = FaultPlan.from_config(topology, config)
+    if engine == "dense":
+        fault_state = FaultState(plan)
+        router = _make_router(topology, scheme, config, fault_state)
+        if _dense_fallback(router):
+            config = config.replace(quantize_arrivals=True)
+        else:
+            return _run_resilient_dense(
+                topology, scheme, config, plan, fault_state, router
+            )
+    env = env_factory()
+    stats = SimStats()
+    if config.quantize_arrivals:
+        plan = plan.quantized(config)
     fault_state = FaultState(plan)
     net = FaultyWormholeNetwork(env, config, fault_state, stats)
     rng = random.Random(config.seed)
-    router = Router(
-        topology,
-        scheme,
-        channels_per_link=config.channels_per_link,
-        fault_state=fault_state,
-    )
+    router = _make_router(topology, scheme, config, fault_state)
     fault_state.install(net)
     nodes = list(topology.nodes())
     n = len(nodes)
@@ -260,6 +388,7 @@ def run_resilient(
     k = config.num_destinations
     index_map = topology.index_map()
     schedule = env.schedule
+    q = config.quantize if config.quantize_arrivals else None
 
     # per-message delivery obligations and retry bookkeeping
     expected: dict[int, frozenset] = {}
@@ -288,7 +417,9 @@ def run_resilient(
         attempts[message_id] = used + 1
         pending_retry.add(message_id)
         delay = config.retry_timeout * (config.retry_backoff ** used)
-        Timeout(env, delay).wait(lambda ev, mid=message_id: retry(mid))
+        Timeout(env, q(delay) if q else delay).wait(
+            lambda ev, mid=message_id: retry(mid)
+        )
 
     def retry(message_id):
         pending_retry.discard(message_id)
@@ -337,10 +468,12 @@ def run_resilient(
             except Unroutable:
                 stats.injection_failures += 1
                 handle_drop(mid, expected[mid], "unroutable")
-        schedule(expovariate(arrival_rate), inject_from, node)
+        delay = expovariate(arrival_rate)
+        schedule(q(delay) if q else delay, inject_from, node)
 
     for node in nodes:
-        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+        delay = rng.expovariate(1.0 / config.mean_interarrival)
+        env.schedule(q(delay) if q else delay, inject_from, node)
 
     completed = net.run_to_completion()
     if not completed:
@@ -366,12 +499,147 @@ def run_resilient(
     )
 
 
+def _run_resilient_dense(
+    topology: Topology,
+    scheme: str,
+    config: SimConfig,
+    plan: FaultPlan,
+    fault_state: FaultState,
+    router: Router,
+) -> FaultResult:
+    """:func:`run_resilient` on the structure-of-arrays engine (the
+    fault-aware scalar kernels plus the vectorized fault mask)."""
+    stats = SimStats()
+    rng = random.Random(config.seed)
+    nodes = list(topology.nodes())
+    n = len(nodes)
+    index_map = topology.index_map()
+    eng = DenseEngine(
+        config, fault_state=fault_state, stats=stats, node_index=index_map
+    )
+    state = {"injected": 0}
+    path_capacity = config.channels_per_link
+
+    randrange = rng.randrange
+    expovariate = rng.expovariate
+    arrival_rate = 1.0 / config.mean_interarrival
+    num_messages = config.num_messages
+    k = config.num_destinations
+    ticks = config.ticks
+
+    # the fault schedule lands on the calendar before any injection, so
+    # same-tick fault events dispatch first (as in the reference driver)
+    for ev in plan.events:
+        eng.call_at(ticks(ev.time), fault_state._apply, eng, ev)
+
+    expected: dict[int, frozenset] = {}
+    sources: dict = {}
+    origins: dict = {}
+    attempts: dict = {}
+    pending_retry: set = set()
+
+    def draw_destinations(source):
+        chosen: set = set()
+        src_i = index_map[source]
+        while len(chosen) < k:
+            i = randrange(n)
+            if i != src_i:
+                chosen.add(i)
+        return tuple(nodes[i] for i in sorted(chosen))
+
+    def handle_drop(message_id, dropped, reason):
+        if message_id in pending_retry:
+            return
+        used = attempts.get(message_id, 0)
+        if used >= config.max_retries:
+            return
+        attempts[message_id] = used + 1
+        pending_retry.add(message_id)
+        delay = config.retry_timeout * (config.retry_backoff ** used)
+        eng.call_in_deferred(ticks(delay), retry, message_id)
+
+    def retry(message_id):
+        pending_retry.discard(message_id)
+        remaining = expected[message_id] - eng.delivered_by_message.get(
+            message_id, set()
+        )
+        if not remaining:
+            return
+        source = sources[message_id]
+        if fault_state.node_down(source):
+            handle_drop(message_id, remaining, "source node down")
+            return
+        stats.retries += 1
+        request = MulticastRequest.trusted(
+            topology,
+            source,
+            tuple(sorted(remaining, key=index_map.__getitem__)),
+        )
+        eng.origin_tick = origins[message_id]
+        try:
+            inject_specs(eng, message_id, router(request), path_capacity, router)
+        except Unroutable:
+            stats.injection_failures += 1
+            handle_drop(message_id, remaining, "unroutable")
+        finally:
+            eng.origin_tick = None
+
+    eng.drop_handler = handle_drop
+
+    def inject_from(node):
+        if state["injected"] >= num_messages:
+            return
+        state["injected"] += 1
+        mid = state["injected"]
+        request = MulticastRequest.trusted(topology, node, draw_destinations(node))
+        expected[mid] = frozenset(request.destinations)
+        sources[mid] = node
+        origins[mid] = eng.tick
+        if fault_state.node_down(node):
+            stats.injection_failures += 1
+            handle_drop(mid, expected[mid], "source node down")
+        else:
+            try:
+                inject_specs(eng, mid, router(request), path_capacity, router)
+            except Unroutable:
+                stats.injection_failures += 1
+                handle_drop(mid, expected[mid], "unroutable")
+        eng.call_in(ticks(expovariate(arrival_rate)), inject_from, node)
+
+    for node in nodes:
+        eng.call_in(ticks(rng.expovariate(1.0 / config.mean_interarrival)), inject_from, node)
+
+    if not eng.run():
+        raise DeadlockDetected(
+            f"{eng.active_worms} worms blocked with an empty event calendar"
+        )
+
+    cutoff = config.num_messages * config.warmup_fraction
+    latencies = eng.latencies(cutoff)
+    total_expected = sum(len(dests) for dests in expected.values())
+    stats.dropped = total_expected - stats.delivered
+    stats.engine_counters = eng.cache_stats()
+    empty = Summary(float("nan"), float("inf"), 0, 0)
+    return FaultResult(
+        latency=batch_means(latencies) if latencies else empty,
+        injected_messages=state["injected"],
+        deliveries=len(eng.d_mid),
+        sim_time=eng.now,
+        worms=eng.total_worms,
+        stats=stats,
+        expected_deliveries=total_expected,
+        engine="dense",
+        engine_stats=stats.engine_counters,
+    )
+
+
 def run_until_confident(
     topology: Topology,
     scheme: str,
     config: SimConfig,
     target_relative_ci: float = 0.05,
     max_doublings: int = 4,
+    engine: str = "reference",
 ) -> DynamicResult:
     """Repeat :func:`run_dynamic` with a doubling message budget until
     the 95% CI half-width falls below ``target_relative_ci`` of the
@@ -381,12 +649,12 @@ def run_until_confident(
 
     Returns the first run meeting the target, or the largest run tried.
     """
-    result = run_dynamic(topology, scheme, config)
+    result = run_dynamic(topology, scheme, config, engine=engine)
     for _ in range(max_doublings):
         if result.latency.relative_ci <= target_relative_ci:
             break
         config = config.replace(num_messages=config.num_messages * 2)
-        result = run_dynamic(topology, scheme, config)
+        result = run_dynamic(topology, scheme, config, engine=engine)
     return result
 
 
@@ -399,6 +667,8 @@ class MixedResult:
     multicast_latency: Summary
     injected_messages: int
     sim_time: float
+    engine: str = "reference"
+    engine_stats: dict | None = None
 
 
 def run_mixed(
@@ -406,6 +676,7 @@ def run_mixed(
     scheme: str,
     config: SimConfig,
     unicast_fraction: float = 0.5,
+    engine: str = "reference",
 ) -> MixedResult:
     """Simulate a mix of unicast and multicast traffic (§8.2: "study
     the interaction between unicast and multicast traffic and how
@@ -418,17 +689,26 @@ def run_mixed(
     """
     if not 0.0 <= unicast_fraction <= 1.0:
         raise ValueError("unicast_fraction must be in [0, 1]")
-    env = Environment()
-    net = WormholeNetwork(env, config)
-    rng = random.Random(config.seed)
+    _check_engine(engine)
     router = Router(topology, scheme, channels_per_link=config.channels_per_link)
     from ..labeling import canonical_labeling
 
     labeling = router.labeling or canonical_labeling(topology)
+    if engine == "dense":
+        if _dense_fallback(router):
+            config = config.replace(quantize_arrivals=True)
+        else:
+            return _run_mixed_dense(
+                topology, router, labeling, config, unicast_fraction
+            )
+    env = Environment()
+    net = WormholeNetwork(env, config)
+    rng = random.Random(config.seed)
     nodes = list(topology.nodes())
     n = len(nodes)
     state = {"injected": 0}
     kinds: dict[int, str] = {}
+    q = config.quantize if config.quantize_arrivals else None
 
     def inject_from(node):
         if state["injected"] >= config.num_messages:
@@ -455,10 +735,12 @@ def run_mixed(
             dests = tuple(topology.node_at(i) for i in sorted(chosen))
             request = MulticastRequest(topology, node, dests)
             inject_specs(net, mid, router(request), config.channels_per_link, router)
-        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+        delay = rng.expovariate(1.0 / config.mean_interarrival)
+        env.schedule(q(delay) if q else delay, inject_from, node)
 
     for node in nodes:
-        env.schedule(rng.expovariate(1.0 / config.mean_interarrival), inject_from, node)
+        delay = rng.expovariate(1.0 / config.mean_interarrival)
+        env.schedule(q(delay) if q else delay, inject_from, node)
 
     if not net.run_to_completion():
         raise DeadlockDetected(
@@ -484,6 +766,79 @@ def run_mixed(
     )
 
 
+def _run_mixed_dense(
+    topology: Topology,
+    router: Router,
+    labeling,
+    config: SimConfig,
+    unicast_fraction: float,
+) -> MixedResult:
+    """:func:`run_mixed` on the structure-of-arrays engine."""
+    eng = DenseEngine(config)
+    rng = random.Random(config.seed)
+    nodes = list(topology.nodes())
+    n = len(nodes)
+    state = {"injected": 0}
+    kinds: dict[int, str] = {}
+    ticks = config.ticks
+
+    def inject_from(node):
+        if state["injected"] >= config.num_messages:
+            return
+        state["injected"] += 1
+        mid = state["injected"]
+        src_i = topology.index(node)
+        if rng.random() < unicast_fraction:
+            kinds[mid] = "unicast"
+            while True:
+                i = rng.randrange(n)
+                if i != src_i:
+                    break
+            dest = topology.node_at(i)
+            path = labeling.route_path(node, dest)
+            eng.inject_path(mid, path, {dest}, capacity=config.channels_per_link)
+        else:
+            kinds[mid] = "multicast"
+            chosen: set = set()
+            while len(chosen) < config.num_destinations:
+                i = rng.randrange(n)
+                if i != src_i:
+                    chosen.add(i)
+            dests = tuple(topology.node_at(i) for i in sorted(chosen))
+            request = MulticastRequest(topology, node, dests)
+            inject_specs(eng, mid, router(request), config.channels_per_link, router)
+        eng.call_in(ticks(rng.expovariate(1.0 / config.mean_interarrival)), inject_from, node)
+
+    for node in nodes:
+        eng.call_in(ticks(rng.expovariate(1.0 / config.mean_interarrival)), inject_from, node)
+
+    if not eng.run():
+        raise DeadlockDetected(
+            f"{eng.active_worms} worms blocked with an empty event calendar"
+        )
+    cutoff = config.num_messages * config.warmup_fraction
+    tf = config.flit_time
+    uni = [
+        t * tf - inj * tf
+        for mid, inj, t in zip(eng.d_mid, eng.d_inj, eng.d_tick)
+        if mid > cutoff and kinds[mid] == "unicast"
+    ]
+    multi = [
+        t * tf - inj * tf
+        for mid, inj, t in zip(eng.d_mid, eng.d_inj, eng.d_tick)
+        if mid > cutoff and kinds[mid] == "multicast"
+    ]
+    empty = Summary(float("nan"), float("inf"), 0, 0)
+    return MixedResult(
+        unicast_latency=batch_means(uni) if uni else empty,
+        multicast_latency=batch_means(multi) if multi else empty,
+        injected_messages=state["injected"],
+        sim_time=eng.now,
+        engine="dense",
+        engine_stats=eng.cache_stats(),
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioResult:
     """Outcome of a fixed multicast scenario."""
@@ -492,6 +847,8 @@ class ScenarioResult:
     blocked_worms: int
     deliveries: int
     sim_time: float
+    engine: str = "reference"
+    engine_stats: dict | None = None
 
 
 def run_static_scenario(
@@ -499,14 +856,29 @@ def run_static_scenario(
     scheme: str,
     requests,
     config: SimConfig | None = None,
+    engine: str = "reference",
 ) -> ScenarioResult:
     """Inject the given multicasts simultaneously at time zero and run
     the network dry.  ``completed=False`` demonstrates deadlock (e.g.
     Fig. 6.1's two broadcasts under ``scheme='ecube-tree'``)."""
     config = config or SimConfig()
+    _check_engine(engine)
+    router = Router(topology, scheme, channels_per_link=config.channels_per_link)
+    if engine == "dense" and not _dense_fallback(router):
+        eng = DenseEngine(config)
+        for mid, request in enumerate(requests, start=1):
+            inject_specs(eng, mid, router(request), config.channels_per_link, router)
+        completed = eng.run()
+        return ScenarioResult(
+            completed=completed,
+            blocked_worms=eng.active_worms,
+            deliveries=len(eng.d_mid),
+            sim_time=eng.now,
+            engine="dense",
+            engine_stats=eng.cache_stats(),
+        )
     env = Environment()
     net = WormholeNetwork(env, config)
-    router = Router(topology, scheme, channels_per_link=config.channels_per_link)
     for mid, request in enumerate(requests, start=1):
         inject_specs(net, mid, router(request), config.channels_per_link, router)
     completed = net.run_to_completion()
