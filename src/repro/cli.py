@@ -20,14 +20,21 @@ Commands
                 certificates / minimized counterexamples, written as
                 JSON artifacts) and sweep the routing invariants;
 ``lint``        run the repo-specific AST lint pass
-                (:mod:`repro.analysis.lint`).
+                (:mod:`repro.analysis.lint`);
+``serve``       run the resilient routing daemon on a unix socket
+                (:mod:`repro.service`), optionally under a seeded
+                chaos plan;
+``client``      talk to a running daemon: route requests, stats
+                snapshots, shutdown.
 
 Every scheme name is resolved through :mod:`repro.registry`, so new
 registrations appear in ``route --algorithm`` choices and the
 ``algorithms`` listing without touching this module.
 
-Exit codes: 0 success, 1 analysis findings (``certify`` / ``lint``),
-2 usage errors (unknown scheme, bad node, ...), 3 no fault-avoiding
+Exit codes: 0 success, 1 analysis findings (``certify`` / ``lint``) or
+a typed service error, 2 usage errors (unknown scheme, bad node, bad
+``--engine``, invalid :class:`~repro.sim.config.SimConfig` values —
+always a one-line message, never a traceback), 3 no fault-avoiding
 route exists (:class:`Unroutable`, the blocking channel is named on
 stderr), 4 an exact solver exceeded its ``--budget`` node-expansion
 limit (:class:`repro.exact.SearchBudgetExceeded`).
@@ -41,6 +48,7 @@ import sys
 from . import registry
 from .exact.errors import SearchBudgetExceeded
 from .models.request import MulticastRequest
+from .sim.config import InvalidConfigError
 from .topology import Hypercube, KAryNCube, Mesh2D, Mesh3D
 from .wormhole.fault_tolerance import Unroutable
 
@@ -500,6 +508,115 @@ def cmd_lint(args) -> int:
     return 0
 
 
+#: Typed service error code -> CLI exit code (unlisted codes exit 1).
+_SERVICE_EXITS = {
+    "bad-request": 2,
+    "unknown-scheme": 2,
+    "unsupported-topology": 2,
+    "not-routable": 2,
+    "unroutable": 3,
+    "budget-exceeded": 4,
+}
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from .service import ChaosPlan, ServiceConfig
+    from .service.server import serve as serve_daemon
+
+    try:
+        chaos = None
+        if args.chaos_kill or args.chaos_delay or args.chaos_drop or args.chaos_stall:
+            chaos = ChaosPlan(
+                seed=args.seed,
+                kill_rate=args.chaos_kill,
+                delay_rate=args.chaos_delay,
+                drop_rate=args.chaos_drop,
+                stall_rate=args.chaos_stall,
+            )
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_bound=args.queue_bound,
+            cache_capacity=args.cache_capacity,
+            request_deadline=args.deadline,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            seed=args.seed,
+            chaos=chaos,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(report) -> None:
+        print(
+            json.dumps(
+                {
+                    "ready": True,
+                    "socket": args.socket,
+                    "workers": [w["pid"] for w in report["workers"]],
+                }
+            ),
+            flush=True,
+        )
+
+    try:
+        serve_daemon(args.socket, config, ready)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("daemon shut down")
+            return 0
+        if not args.dest:
+            print("error: --dest is required to route", file=sys.stderr)
+            return 2
+        topology = parse_topology(args.topology)
+        source = parse_node(topology, args.source)
+        dests = tuple(parse_node(topology, d) for d in args.dest)
+        worst = 0
+        for _ in range(args.count):
+            response = client.route(
+                args.topology,
+                args.scheme,
+                source,
+                dests,
+                budget=args.budget,
+                deadline=args.request_deadline,
+            )
+            if response.ok:
+                flags = "".join(
+                    f" [{flag}]"
+                    for flag, on in (
+                        ("degraded", response.degraded),
+                        ("cache", response.cache_hit),
+                    )
+                    if on
+                )
+                print(
+                    f"{response.scheme} on {args.topology}: "
+                    f"traffic={response.traffic} max_hops={response.max_hops}"
+                    f"{flags}"
+                )
+            else:
+                print(f"error: {response.error}: {response.detail}", file=sys.stderr)
+                worst = max(worst, _SERVICE_EXITS.get(response.error, 1))
+        return worst
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -628,6 +745,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the routing-invariant sweep")
     p.set_defaults(func=cmd_certify)
 
+    p = sub.add_parser("serve", help="run the resilient routing daemon")
+    p.add_argument("--socket", required=True,
+                   help="unix socket path to listen on (JSONL protocol)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent routing worker processes")
+    p.add_argument("--queue-bound", type=int, default=64,
+                   help="intake queue bound; beyond it requests are shed "
+                        "with a typed `overloaded` response")
+    p.add_argument("--cache-capacity", type=int, default=1024,
+                   help="route-plan LRU entries (0 disables caching)")
+    p.add_argument("--deadline", type=float, default=10.0,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive budget/timeout failures per "
+                        "(scheme, topology) that open the circuit breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds before an open breaker probes the primary")
+    p.add_argument("--seed", type=int, default=1,
+                   help="seeds retry jitter and the chaos plan")
+    p.add_argument("--chaos-kill", type=float, default=0.0,
+                   help="fraction of requests whose worker is SIGKILLed "
+                        "mid-request (chaos harness)")
+    p.add_argument("--chaos-delay", type=float, default=0.0,
+                   help="fraction of requests with an injected delay")
+    p.add_argument("--chaos-drop", type=float, default=0.0,
+                   help="fraction of requests whose response is dropped")
+    p.add_argument("--chaos-stall", type=float, default=0.0,
+                   help="fraction of requests that hang their worker "
+                        "(heartbeats stop)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running routing daemon")
+    p.add_argument("--socket", required=True, help="daemon unix socket path")
+    p.add_argument("--stats", action="store_true",
+                   help="print the daemon's drain report as JSON and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the daemon and exit")
+    p.add_argument("--topology", default="mesh:8x8")
+    p.add_argument("--scheme", default="dual-path")
+    p.add_argument("--source", default="0,0")
+    p.add_argument("--dest", action="append", default=[], help="repeatable")
+    p.add_argument("--count", type=int, default=1,
+                   help="send the request this many times (cache warming)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="search budget forwarded to exact solvers")
+    p.add_argument("--request-deadline", type=float, default=None,
+                   help="per-request deadline override in seconds")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client socket timeout in seconds")
+    p.set_defaults(func=cmd_client)
+
     p = sub.add_parser("lint", help="run the repo-specific AST lint pass")
     p.add_argument("path", nargs="*",
                    help="files/directories to lint (default: the installed "
@@ -650,6 +818,9 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         print("run `python -m repro algorithms` for the full catalogue",
               file=sys.stderr)
+        return 2
+    except InvalidConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except Unroutable as exc:
         print(f"error: {exc}", file=sys.stderr)

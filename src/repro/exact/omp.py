@@ -63,6 +63,7 @@ def held_karp_closed_walk_cost(topology: Topology, source: Node, dests) -> int:
     result_model="path",
     aliases=("optimal-multicast-path",),
     tunables=("budget",),
+    fallback="sorted-mp",  # the Ch. 5 heuristic for the same problem
     reference="Ch. 4 (Theorem 4.2; branch & bound over simple paths)",
 )
 def optimal_multicast_path(
@@ -91,6 +92,7 @@ def optimal_multicast_path(
     result_model="cycle",
     aliases=("optimal-multicast-cycle",),
     tunables=("budget",),
+    fallback="sorted-mc",  # the Ch. 5 heuristic for the same problem
     reference="Ch. 4 (Theorem 4.6; branch & bound over simple cycles)",
 )
 def optimal_multicast_cycle(

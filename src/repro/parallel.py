@@ -75,7 +75,10 @@ __all__ = [
     "NoResultsError",
     "SweepError",
     "SweepJob",
+    "SweepStats",
     "derive_seed",
+    "kill_process",
+    "reap_result",
     "replicate",
     "run_sweep",
     "pooled_latency",
@@ -84,6 +87,77 @@ __all__ = [
 #: seconds a finished-looking worker gets to flush its result queue
 #: before being declared crashed
 _CRASH_GRACE = 0.25
+
+
+@dataclass
+class SweepStats:
+    """Attempt/retry/timeout accounting for one :func:`run_sweep` call.
+
+    Pass an instance as ``stats=`` to observe what the supervised path
+    actually did — before this existed, retries that eventually
+    *succeeded* were invisible (only terminal failures surfaced, as
+    :class:`JobFailure` records), so a sweep that silently burned its
+    retry budget looked identical to a clean one.
+
+    ``attempts`` counts worker processes launched; ``resumed`` counts
+    results served from the checkpoint instead of being re-run;
+    ``retries`` counts re-runs granted after a failed attempt
+    (``attempts`` = first tries + retries); ``timeouts`` / ``crashes``
+    / ``errors`` classify the failed attempts (over-budget, died
+    without reporting, raised in-worker); ``completed`` and
+    ``failed_jobs`` partition the jobs' terminal outcomes.
+    """
+
+    attempts: int = 0
+    completed: int = 0
+    resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    errors: int = 0
+    failed_jobs: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Worker-lifecycle helpers, shared with the routing service's
+# supervisor (repro.service.supervisor): the sweep runner and the
+# service pool kill and reap workers the same way.
+# ----------------------------------------------------------------------
+
+
+def kill_process(process, *, hard: bool = False) -> int | None:
+    """Stop a worker process (SIGTERM, or SIGKILL with ``hard=True``
+    for hung workers that may ignore termination), join it, and return
+    its exit code."""
+    if process.is_alive():
+        if hard:
+            process.kill()
+        else:
+            process.terminate()
+    process.join()
+    return process.exitcode
+
+
+def reap_result(queue, grace: float = _CRASH_GRACE):
+    """One payload a dead worker may have flushed just before dying.
+
+    A worker that exits immediately after ``queue.put`` can race the
+    queue's pipe: the supervisor sees the process dead while the bytes
+    are still in flight.  Polling for a short grace period
+    distinguishes "finished, then died" from a genuine crash.  Returns
+    the payload, or ``None`` if nothing arrives within ``grace``.
+    """
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not queue.empty():
+            return queue.get()
+        time.sleep(0.005)
+    return None
 
 
 @dataclass(frozen=True)
@@ -340,6 +414,7 @@ def run_sweep(
     resume: bool = False,
     on_error: str = "raise",
     failures: list | None = None,
+    stats: SweepStats | None = None,
 ) -> list:
     """Run every job (a :class:`SweepJob` or ``(topology, scheme,
     config)`` tuple) and return its result, in job order.
@@ -370,6 +445,9 @@ def run_sweep(
     ``failures``
         optional list collecting :class:`JobFailure` records under
         either ``on_error`` policy.
+    ``stats``
+        optional :class:`SweepStats` populated with attempt/retry/
+        timeout/crash accounting (supervised path only).
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"unknown on_error policy {on_error!r}")
@@ -394,6 +472,7 @@ def run_sweep(
         resume=resume,
         on_error=on_error,
         failures=failures,
+        stats=stats if stats is not None else SweepStats(),
     )
 
 
@@ -422,6 +501,7 @@ def _run_supervised(
     resume: bool,
     on_error: str,
     failures: list | None,
+    stats: SweepStats,
 ) -> list:
     ctx = _pool_context()
     results: dict[int, object] = {}
@@ -429,6 +509,7 @@ def _run_supervised(
 
     if checkpoint is not None and resume:
         results.update(_load_checkpoint(checkpoint, jobs))
+        stats.resumed = len(results)
 
     exits = contextlib.ExitStack()
     ckpt_fh = (
@@ -444,10 +525,12 @@ def _run_supervised(
 
     def record_failure(index: int, attempt: int, error: str) -> None:
         if attempt < retries:
+            stats.retries += 1
             pending.append((index, attempt + 1))
             return
         failure = JobFailure(index, jobs[index], error, attempt + 1)
         failed[index] = failure
+        stats.failed_jobs += 1
         if failures is not None:
             failures.append(failure)
 
@@ -458,9 +541,11 @@ def _run_supervised(
         ok, payload = outcome
         if ok:
             results[index] = payload
+            stats.completed += 1
             if ckpt_fh is not None:
                 _append_checkpoint(ckpt_fh, index, jobs[index], payload)
         else:
+            stats.errors += 1
             record_failure(index, attempt, payload)
 
     try:
@@ -472,6 +557,7 @@ def _run_supervised(
                     target=_job_worker, args=(jobs[index], queue), daemon=True
                 )
                 process.start()
+                stats.attempts += 1
                 deadline = time.monotonic() + timeout if timeout is not None else None
                 running[index] = (process, queue, deadline, attempt)
 
@@ -483,10 +569,10 @@ def _run_supervised(
                     finish(index, attempt, entry, queue.get())
                     progressed = True
                 elif deadline is not None and time.monotonic() > deadline:
-                    process.terminate()
-                    process.join()
+                    kill_process(process)
                     queue.close()
                     del running[index]
+                    stats.timeouts += 1
                     record_failure(
                         index, attempt, f"timed out after {timeout:g}s"
                     )
@@ -494,19 +580,14 @@ def _run_supervised(
                 elif not process.is_alive():
                     # dead without a visible result: give the queue
                     # feeder a grace period, then declare a crash
-                    grace_end = time.monotonic() + _CRASH_GRACE
-                    outcome = None
-                    while time.monotonic() < grace_end:
-                        if not queue.empty():
-                            outcome = queue.get()
-                            break
-                        time.sleep(0.005)
+                    outcome = reap_result(queue)
                     del running[index]
                     if outcome is not None:
                         finish(index, attempt, entry, outcome)
                     else:
                         process.join()
                         queue.close()
+                        stats.crashes += 1
                         record_failure(
                             index,
                             attempt,
@@ -517,8 +598,7 @@ def _run_supervised(
                 time.sleep(0.01)
     finally:
         for process, queue, _, _ in running.values():
-            process.terminate()
-            process.join()
+            kill_process(process)
             queue.close()
         exits.close()
 

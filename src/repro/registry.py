@@ -146,6 +146,14 @@ class AlgorithmSpec:
     #: declares, keeping dispatch capability-typed rather than
     #: name-switched.
     tunables: tuple[str, ...] = ()
+    #: name of a cheaper registered scheme that approximates this one —
+    #: the graceful-degradation capability.  When this scheme keeps
+    #: failing (``SearchBudgetExceeded``, timeouts), a consumer such as
+    #: the :mod:`repro.service` circuit breaker may route requests to
+    #: the fallback instead, tagging results ``degraded=True``.
+    #: Resolved lazily through :meth:`fallback_spec` (the fallback may
+    #: register later than this spec does).
+    fallback: str | None = None
     #: alternative names resolving to this same spec.
     aliases: tuple[str, ...] = ()
     #: family parameters of a resolved parametric instance
@@ -166,6 +174,8 @@ class AlgorithmSpec:
                     f"{self.name}: unknown topology family {fam!r} "
                     f"(expected one of {TOPOLOGY_FAMILIES})"
                 )
+        if self.fallback == self.name:
+            raise ValueError(f"{self.name}: a scheme cannot be its own fallback")
         if self.deadlock_free and self.cdg_certificate is None:
             # Hard conformance rule (PR 4): a deadlock-freedom claim is
             # only admissible with a machine-checkable CDG hook behind
@@ -206,6 +216,15 @@ class AlgorithmSpec:
     def supports(self, topology) -> bool:
         """Whether ``topology`` belongs to a declared family."""
         return not self.topologies or topology_family(topology) in self.topologies
+
+    def fallback_spec(self) -> "AlgorithmSpec | None":
+        """The resolved degradation target (``None`` when the scheme
+        declares no fallback).  Raises :class:`UnknownSchemeError` if
+        the declared name never registered — a conformance test keeps
+        every declared fallback resolvable and routable."""
+        if self.fallback is None:
+            return None
+        return get(self.fallback)
 
     def cdg_edges(self, topology):
         """The conservative CDG certifying deadlock freedom on

@@ -1,0 +1,110 @@
+"""LRU route-plan cache with honest hit-rate counters.
+
+Keys are ``(topology_repr, scheme, source, frozenset(destinations))``
+— the issue's ``(topology, scheme, destinations)`` key plus the
+source, because every Chapter 3 route model is rooted at the source
+(two requests differing only in source take different routes).  Values
+are terminal :class:`~repro.service.protocol.RouteResponse` objects;
+:meth:`RouteResponse.with_id` re-keys a cached plan under the new
+request's correlation id, so ``cache_hit=True`` responses are replayed
+plans, never shared mutable state.
+
+Mirrors the counter style of
+:class:`repro.topology.oracle.CacheStats`: hits / misses / evictions
+plus a derived ``hit_rate``, all exported by :meth:`stats` for the
+service drain report and ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["RoutePlanCache", "route_key"]
+
+
+def route_key(topology_repr: str, scheme: str, source, destinations) -> tuple:
+    """The canonical cache key (destination order must not matter)."""
+    return (topology_repr, scheme, source, frozenset(destinations))
+
+
+class RoutePlanCache:
+    """A bounded LRU map from route keys to terminal responses.
+
+    Thread-safe: the service front end probes it at admission (so hot
+    requests never enter the queue) while the dispatcher thread fills
+    it, so every operation takes the internal lock.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError(f"capacity cannot be negative, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key):
+        """The cached value (refreshed to most-recently-used) or
+        ``None``; every call counts as a hit or a miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key):
+        """The cached value (refreshed) or ``None``, without touching
+        the hit/miss counters — for the dispatcher's second probe of a
+        request already counted as a miss at admission."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh an entry, evicting the least recently used
+        one past capacity.  A zero-capacity cache stores nothing (every
+        lookup is a miss) but keeps counting."""
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot for reports and benchmarks."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

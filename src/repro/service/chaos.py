@@ -1,0 +1,116 @@
+"""Seeded chaos plan: deterministic fault injection for the service.
+
+The robustness suite does not flip coins at run time — it builds a
+:class:`ChaosPlan` from a seed, and the plan answers, as a pure
+function of ``(request_id, attempt)``, whether that dispatch gets
+sabotaged and how.  Rerunning with the same seed reproduces the exact
+same kill/delay/drop schedule, which is what lets the chaos tests
+assert request-for-request accounting instead of statistics.
+
+Derivation follows the project's splitmix64 seeding rule
+(``repro.parallel.derive_seed`` / ``repro.retry.jitter_unit``): one
+uniform variate per dispatch, partitioned into action bands.  Chaos
+only strikes **attempt 0** of a request, so the supervisor's
+requeue-once retry always has a clean lane to recover on — the suite
+is testing the recovery machinery, not unbounded bad luck.
+
+Actions (worker-side effects live in :mod:`repro.service.worker`):
+
+* ``"kill"`` — the supervisor SIGKILLs the worker mid-request (the
+  worker holds the job briefly so the kill lands before the reply);
+* ``"delay"`` — the worker sleeps ``delay_s`` before replying
+  (latency injection; the request still succeeds);
+* ``"drop"`` — the worker computes but never replies, simulating a
+  lost response; the per-request deadline is the only way out;
+* ``"stall"`` — the worker stops heartbeating and sleeps, simulating
+  a hung interpreter; heartbeat monitoring must catch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..retry import jitter_unit
+
+__all__ = ["ACTIONS", "ChaosPlan"]
+
+ACTIONS = ("kill", "delay", "drop", "stall")
+
+#: Decorrelates the chaos stream from the retry-jitter stream when the
+#: service reuses one seed for both (an arbitrary odd 64-bit tag).
+_CHAOS_STREAM = 0xC5A0_5C5A_0C5A_05C5
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An immutable, seeded sabotage schedule.
+
+    Rates are probabilities per *request* (not per attempt); they must
+    sum to at most 1.  ``delay_s`` is the injected sleep for ``delay``
+    actions and the pre-reply hold for ``kill`` actions (long enough
+    for the supervisor's SIGKILL to land mid-request).
+    """
+
+    seed: int
+    kill_rate: float = 0.0
+    delay_rate: float = 0.0
+    drop_rate: float = 0.0
+    stall_rate: float = 0.0
+    delay_s: float = 0.05
+
+    def __post_init__(self):
+        rates = (self.kill_rate, self.delay_rate, self.drop_rate, self.stall_rate)
+        for name, rate in zip(("kill", "delay", "drop", "stall"), rates):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name}_rate must lie in [0, 1], got {rate}")
+        if sum(rates) > 1.0:
+            raise ValueError(f"action rates sum to {sum(rates)} > 1")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s cannot be negative, got {self.delay_s}")
+
+    @property
+    def rate(self) -> float:
+        """Total fraction of requests sabotaged (any action)."""
+        return self.kill_rate + self.delay_rate + self.drop_rate + self.stall_rate
+
+    def action(self, request_id: int, attempt: int) -> str | None:
+        """The sabotage for this dispatch, or ``None``.
+
+        Pure and deterministic: same plan, same ``(request_id,
+        attempt)`` — same answer.  Retries (``attempt > 0``) are never
+        sabotaged.
+        """
+        if attempt > 0 or self.rate == 0.0:
+            return None
+        u = jitter_unit(self.seed ^ _CHAOS_STREAM, request_id, attempt)
+        for name, rate in (
+            ("kill", self.kill_rate),
+            ("delay", self.delay_rate),
+            ("drop", self.drop_rate),
+            ("stall", self.stall_rate),
+        ):
+            if u < rate:
+                return name
+            u -= rate
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kill_rate": self.kill_rate,
+            "delay_rate": self.delay_rate,
+            "drop_rate": self.drop_rate,
+            "stall_rate": self.stall_rate,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosPlan":
+        return cls(
+            seed=int(data["seed"]),
+            kill_rate=float(data.get("kill_rate", 0.0)),
+            delay_rate=float(data.get("delay_rate", 0.0)),
+            drop_rate=float(data.get("drop_rate", 0.0)),
+            stall_rate=float(data.get("stall_rate", 0.0)),
+            delay_s=float(data.get("delay_s", 0.05)),
+        )

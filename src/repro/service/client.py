@@ -1,0 +1,124 @@
+"""Small synchronous JSONL client for the routing daemon.
+
+One request in flight at a time (send a line, read lines until the
+matching ``request_id`` comes back), which keeps it dependency-free
+and good enough for the CLI ``client`` verb, the CI chaos driver and
+the service benchmark.  Concurrency belongs to the daemon; a load
+generator just opens several clients.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import ProtocolError, RouteRequest, RouteResponse, decode_line, encode_line
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Connects to the unix socket of a running routing daemon."""
+
+    def __init__(self, path: str, timeout: float | None = 30.0):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._mailbox: dict = {}  # request_id -> response read early
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire helpers -------------------------------------------------
+
+    def _send(self, payload: dict) -> None:
+        self._file.write(encode_line(payload))
+        self._file.flush()
+
+    def _recv_for(self, request_id) -> dict:
+        """Read lines until the one correlated to ``request_id``.
+
+        Pipelined responses complete in *service* order, not send
+        order (a cache replay overtakes a worker ride), so any other
+        request's response read on the way is parked in the mailbox
+        for its own :meth:`collect` — never discarded."""
+        if request_id in self._mailbox:
+            return self._mailbox.pop(request_id)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            data = decode_line(line)
+            got = data.get("request_id")
+            if got == request_id:
+                return data
+            self._mailbox[got] = data
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- operations ---------------------------------------------------
+
+    def route(
+        self,
+        topology: str,
+        scheme: str,
+        source,
+        destinations,
+        budget: int | None = None,
+        deadline: float | None = None,
+        request_id: int | None = None,
+    ) -> RouteResponse:
+        """Route one multicast; returns the terminal response (typed
+        errors included — call :meth:`RouteResponse.require` to raise
+        on them instead)."""
+        if request_id is None:
+            request_id = self._fresh_id()
+        request = RouteRequest(
+            request_id=request_id,
+            topology=topology,
+            scheme=scheme,
+            source=source,
+            destinations=tuple(destinations),
+            budget=budget,
+            deadline=deadline,
+        )
+        self._send(request.to_json())
+        return RouteResponse.from_json(self._recv_for(request_id))
+
+    def submit(self, request: RouteRequest) -> None:
+        """Fire one pre-built request without waiting (pipelining);
+        collect with :meth:`collect`."""
+        self._send(request.to_json())
+
+    def collect(self, request_id: int) -> RouteResponse:
+        return RouteResponse.from_json(self._recv_for(request_id))
+
+    def stats(self) -> dict:
+        """The daemon's live :meth:`RouteService.report` snapshot."""
+        request_id = self._fresh_id()
+        self._send({"op": "stats", "request_id": request_id})
+        data = self._recv_for(request_id)
+        if not data.get("ok"):
+            raise ProtocolError(f"stats failed: {data}")
+        return data["report"]
+
+    def ping(self) -> bool:
+        request_id = self._fresh_id()
+        self._send({"op": "ping", "request_id": request_id})
+        return bool(self._recv_for(request_id).get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (acknowledged before it exits)."""
+        request_id = self._fresh_id()
+        self._send({"op": "shutdown", "request_id": request_id})
+        self._recv_for(request_id)

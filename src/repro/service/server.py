@@ -1,0 +1,147 @@
+"""Asyncio unix-socket front end over :class:`RouteService`.
+
+One JSONL message per line in both directions.  Ops:
+
+* ``{"op": "route", ...}`` — a :class:`RouteRequest`; answered with
+  exactly one terminal :class:`RouteResponse` line (responses may
+  interleave across pipelined requests — correlate by ``request_id``);
+* ``{"op": "stats"}`` — the live :meth:`RouteService.report` snapshot
+  (includes worker pids, which is how the CI chaos job picks a victim
+  to ``kill -9``);
+* ``{"op": "ping"}`` — liveness probe;
+* ``{"op": "shutdown"}`` — acknowledge, then stop the server loop.
+
+The adapter holds no routing state of its own: a route op is
+``service.submit`` + ``asyncio.wrap_future``, so every robustness
+property (shedding, deadlines, retries, breakers, chaos) is the
+supervisor's, tested without sockets; the socket layer only adds
+framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+
+from .protocol import ProtocolError, RouteRequest, encode_line, decode_line
+from .supervisor import RouteService, ServiceConfig
+
+__all__ = ["serve", "serve_async"]
+
+
+async def _handle_connection(service, shutdown, reader, writer) -> None:
+    write_lock = asyncio.Lock()
+    route_tasks: set = set()
+
+    async def send(payload: dict) -> None:
+        async with write_lock:
+            writer.write(encode_line(payload))
+            await writer.drain()
+
+    async def answer_route(future, request_id) -> None:
+        response = await asyncio.wrap_future(future)
+        await send(response.to_json())
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                data = decode_line(line)
+            except ProtocolError as exc:
+                await send(
+                    {
+                        "request_id": None,
+                        "ok": False,
+                        "error": "bad-request",
+                        "detail": str(exc),
+                    }
+                )
+                continue
+            op = data.get("op", "route")
+            if op == "route":
+                try:
+                    request = RouteRequest.from_json(data)
+                except ProtocolError as exc:
+                    await send(
+                        {
+                            "request_id": data.get("request_id"),
+                            "ok": False,
+                            "error": "bad-request",
+                            "detail": str(exc),
+                        }
+                    )
+                    continue
+                task = asyncio.ensure_future(
+                    answer_route(service.submit(request), request.request_id)
+                )
+                route_tasks.add(task)
+                task.add_done_callback(route_tasks.discard)
+            elif op == "stats":
+                await send(
+                    {
+                        "request_id": data.get("request_id"),
+                        "ok": True,
+                        "report": service.report(),
+                    }
+                )
+            elif op == "ping":
+                await send({"request_id": data.get("request_id"), "ok": True})
+            elif op == "shutdown":
+                await send({"request_id": data.get("request_id"), "ok": True})
+                shutdown.set()
+            else:
+                await send(
+                    {
+                        "request_id": data.get("request_id"),
+                        "ok": False,
+                        "error": "bad-request",
+                        "detail": f"unknown op {op!r}",
+                    }
+                )
+        if route_tasks:
+            await asyncio.gather(*route_tasks, return_exceptions=True)
+    finally:
+        with contextlib.suppress(OSError):
+            writer.close()
+
+
+async def serve_async(service: RouteService, path: str, ready=None) -> None:
+    """Serve until a ``shutdown`` op or SIGTERM/SIGINT arrives.
+
+    ``ready(report)`` fires once the socket is listening — the CLI
+    prints its readiness line from it.
+    """
+    shutdown = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        # only installable from the main thread; tests run the server
+        # from a helper thread and shut down via the protocol op
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(signum, shutdown.set)
+    server = await asyncio.start_unix_server(
+        lambda r, w: _handle_connection(service, shutdown, r, w), path=path
+    )
+    try:
+        if ready is not None:
+            ready(service.report())
+        async with server:
+            await shutdown.wait()
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+
+
+def serve(
+    path: str, config: ServiceConfig | None = None, ready=None
+) -> None:
+    """Blocking daemon entry point (``python -m repro serve``): start a
+    :class:`RouteService`, bind ``path``, run until shut down."""
+    service = RouteService(config).start()
+    try:
+        asyncio.run(serve_async(service, path, ready))
+    finally:
+        service.close()

@@ -70,6 +70,15 @@ class FaultEvent:
     down: bool  # True = failure, False = repair
 
 
+def _tupled(value):
+    """JSON arrays back to the tuple-shaped node/link keys the
+    simulator uses (nodes are ints or int tuples; link targets are
+    node pairs)."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An immutable, time-sorted schedule of fault events."""
@@ -137,6 +146,48 @@ class FaultPlan:
                 for ev in self.events
             ),
             horizon=self.horizon,
+        )
+
+    def to_json(self) -> dict:
+        """The plan as a JSON-serializable dict (inverse of
+        :meth:`from_json`).
+
+        Fault scenarios become shareable artifacts: a chaos/fault
+        schedule dumped from one service run or bug report replays
+        bit-identically after a restart, on another machine, or inside
+        a regression test — reproducibility no longer depends on
+        re-deriving the plan from the same seed and library version.
+        """
+        return {
+            "horizon": self.horizon,
+            "events": [
+                {
+                    "time": ev.time,
+                    "kind": ev.kind,
+                    "target": ev.target,
+                    "down": ev.down,
+                }
+                for ev in self.events
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output.  Node and link
+        targets serialized as JSON arrays are restored to the tuples
+        the simulator keys on; the round trip is exact (
+        ``FaultPlan.from_json(p.to_json()) == p``)."""
+        return cls(
+            events=tuple(
+                FaultEvent(
+                    time=float(ev["time"]),
+                    kind=str(ev["kind"]),
+                    target=_tupled(ev["target"]),
+                    down=bool(ev["down"]),
+                )
+                for ev in data["events"]
+            ),
+            horizon=float(data["horizon"]),
         )
 
     @classmethod

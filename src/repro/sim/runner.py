@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 
 from ..models.request import MulticastRequest
+from ..retry import backoff_delay
 from ..topology.base import Topology
 from ..wormhole.fault_tolerance import Unroutable
 from .config import SimConfig
@@ -416,7 +417,9 @@ def run_resilient(
             return
         attempts[message_id] = used + 1
         pending_retry.add(message_id)
-        delay = config.retry_timeout * (config.retry_backoff ** used)
+        delay = backoff_delay(
+            used, base=config.retry_timeout, factor=config.retry_backoff
+        )
         Timeout(env, q(delay) if q else delay).wait(
             lambda ev, mid=message_id: retry(mid)
         )
@@ -555,7 +558,9 @@ def _run_resilient_dense(
             return
         attempts[message_id] = used + 1
         pending_retry.add(message_id)
-        delay = config.retry_timeout * (config.retry_backoff ** used)
+        delay = backoff_delay(
+            used, base=config.retry_timeout, factor=config.retry_backoff
+        )
         eng.call_in_deferred(ticks(delay), retry, message_id)
 
     def retry(message_id):

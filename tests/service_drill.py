@@ -1,0 +1,174 @@
+"""End-to-end kill drill for the routing daemon (CI `service-suite`).
+
+Not a pytest module (no ``test_`` prefix, deliberately outside tier-1):
+it exercises the *deployed* shape of :mod:`repro.service` — a real
+``python -m repro serve`` process on a unix socket — and asserts the
+zero-lost-requests contract from the outside, where no in-process
+white-box helps:
+
+1. start the daemon, parse its ready line for the worker pids;
+2. pipeline a burst of route requests over one client connection and
+   ``kill -9`` a worker pid while they are in flight;
+3. drive exact-solver requests with a starvation budget so the
+   registered fallback and the circuit breaker both engage;
+4. reconcile: every request answered exactly once, ``completed ==
+   submitted``, ``outstanding == 0``, the crash/restart/degraded/
+   breaker counters all show the drill happened.
+
+Run it the way CI does::
+
+    python tests/service_drill.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+from repro.service.protocol import RouteRequest  # noqa: E402
+
+TOPOLOGY = "mesh:8x8"
+N_CLEAN = 40  # pipelined dual-path requests
+N_DEGRADED = 6  # omp with a starvation budget -> sorted-mp fallback
+KILL_AFTER = 5  # SIGKILL a worker once this many are in flight
+
+# The daemon also runs its own seeded chaos plan: seed 21 at kill rate
+# 0.08 strikes request seqs 13 and 32 — deterministically inside the
+# burst — so the requeue-once path is exercised on every run, however
+# fast the pool drains.  The external SIGKILL below lands *before* seq
+# 13, while the victim pid is guaranteed to still be the original.
+CHAOS_SEED = 21
+CHAOS_KILL_RATE = "0.08"
+CHAOS_KILLS = 2
+
+
+def start_daemon(sock: str) -> tuple[subprocess.Popen, list[int]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", sock,
+            "--workers", "2",
+            "--cache-capacity", "64",
+            "--deadline", "30",
+            "--breaker-threshold", "2",
+            "--breaker-cooldown", "60",
+            "--seed", str(CHAOS_SEED),
+            "--chaos-kill", CHAOS_KILL_RATE,
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert daemon.stdout is not None
+    ready = json.loads(daemon.stdout.readline())
+    assert ready.get("ready") and len(ready["workers"]) == 2, ready
+    return daemon, ready["workers"]
+
+
+def _pattern(i: int) -> tuple:
+    """All-distinct (source, destinations) pairs — no cache hit saves a
+    worker ride, so the SIGKILL lands on a genuinely busy pool."""
+    return (i % 8, 0), ((7, (i * 3) % 8), (i // 8, 7))
+
+
+def drill(client: ServiceClient, victim: int) -> None:
+    # -- burst + mid-flight SIGKILL -----------------------------------
+    for i in range(N_CLEAN):
+        source, destinations = _pattern(i)
+        client.submit(
+            RouteRequest(
+                request_id=i,
+                topology=TOPOLOGY,
+                scheme="dual-path",
+                source=source,
+                destinations=destinations,
+            )
+        )
+        if i == KILL_AFTER:
+            time.sleep(0.05)  # let the dispatcher hand out some jobs
+            os.kill(victim, signal.SIGKILL)
+            print(f"SIGKILLed worker {victim} with {i + 1} requests in flight")
+    for i in range(N_CLEAN):
+        response = client.collect(i)
+        assert response.request_id == i, (i, response)
+        assert response.ok, (i, response)
+
+    # -- repeats come back from the route-plan cache ------------------
+    for i in range(5):
+        source, destinations = _pattern(i)
+        response = client.route(
+            TOPOLOGY, "dual-path", source, destinations, request_id=500 + i
+        )
+        assert response.ok and response.cache_hit, (i, response)
+
+    # -- degradation: starve the exact solver, trip its breaker -------
+    for i in range(N_DEGRADED):
+        response = client.route(
+            TOPOLOGY,
+            "omp",
+            (0, 0),
+            ((3, 3), (5, 1), (1, 6), (7, 7)),
+            budget=1,
+            request_id=1000 + i,
+        )
+        assert response.ok and response.degraded, (i, response)
+        assert response.scheme == "sorted-mp", response
+
+
+def reconcile(report: dict, victim: int) -> None:
+    counters = report["counters"]
+    total = N_CLEAN + N_DEGRADED + 5  # burst + degraded + cache repeats
+    assert report["outstanding"] == 0, report["outstanding"]
+    assert counters["submitted"] == counters["completed"] == total, counters
+    assert counters["failed"] == 0, counters
+    assert counters["cache_served"] >= 5, counters
+    # two seeded chaos kills plus the external SIGKILL, all detected
+    assert counters["chaos_kills"] == CHAOS_KILLS, counters
+    assert counters["worker_crashes"] == CHAOS_KILLS + 1, counters
+    assert counters["worker_restarts"] == CHAOS_KILLS + 1, counters
+    # each chaos victim's job requeued exactly once (the external kill
+    # adds a third retry only if it caught its worker mid-request)
+    assert CHAOS_KILLS <= counters["retries"] <= CHAOS_KILLS + 1, counters
+    assert counters["degraded"] == N_DEGRADED, counters
+    assert counters["breaker_short_circuits"] >= 1, counters
+    breaker = report["breakers"][f"omp@{TOPOLOGY}"]
+    assert breaker["state"] == "open" and breaker["trips"] >= 1, breaker
+    pids = {w["pid"] for w in report["workers"]}
+    assert victim not in pids, (victim, pids)
+    assert all(w["alive"] for w in report["workers"]), report["workers"]
+    print("drill ok:", json.dumps({k: counters[k] for k in sorted(counters)}))
+    print("breaker:", json.dumps(report["breakers"]))
+
+
+def main() -> int:
+    sock = os.path.join(tempfile.mkdtemp(prefix="repro-drill-"), "route.sock")
+    daemon, workers = start_daemon(sock)
+    print(f"daemon up on {sock}, workers {workers}")
+    try:
+        with ServiceClient(sock, timeout=60.0) as client:
+            drill(client, victim=workers[0])
+            reconcile(client.stats(), victim=workers[0])
+            client.shutdown()
+        daemon.wait(timeout=30)
+        assert daemon.returncode == 0, daemon.returncode
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

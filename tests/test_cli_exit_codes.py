@@ -1,0 +1,77 @@
+"""CLI exit-code hardening: operator mistakes exit 2 with a one-line
+message — never a traceback, never a silent 0.
+
+Exit-code contract (module docstring of :mod:`repro.cli`): 0 success,
+2 usage/configuration error, 3 infeasible routing, 4 search budget
+exhausted.  These tests pin the *error paths*; happy paths live with
+their verbs' own suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+SIM_VERBS = ["simulate", "faults", "mixed"]
+
+
+def _one_line_error(capsys) -> str:
+    """Assert stderr is a short diagnostic (no traceback) and return it."""
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    lines = [ln for ln in err.splitlines() if ln.strip()]
+    assert 1 <= len(lines) <= 2  # message (+ optional one-line hint)
+    return lines[0]
+
+
+class TestBadEngine:
+    @pytest.mark.parametrize("verb", SIM_VERBS)
+    def test_exit_2(self, verb, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main([verb, "--engine", "bogus"])
+        assert exc_info.value.code == 2
+        assert "invalid choice: 'bogus'" in capsys.readouterr().err
+
+
+class TestInvalidSimConfig:
+    @pytest.mark.parametrize("verb", SIM_VERBS)
+    def test_negative_messages(self, verb, capsys):
+        assert main([verb, "--messages", "-5"]) == 2
+        assert "num_messages" in _one_line_error(capsys)
+
+    @pytest.mark.parametrize("verb", SIM_VERBS)
+    def test_nonpositive_interarrival(self, verb, capsys):
+        assert main([verb, "--interarrival-us", "-1"]) == 2
+        assert "mean_interarrival" in _one_line_error(capsys)
+
+
+class TestUnknownScheme:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--scheme", "nope"]) == 2
+        assert "nope" in _one_line_error(capsys)
+
+    def test_route(self, capsys):
+        # route validates --algorithm through argparse choices, so the
+        # rejection happens before dispatch — still exit 2
+        with pytest.raises(SystemExit) as exc_info:
+            main(["route", "--topology", "mesh:4x4", "--algorithm", "nope",
+                  "--source", "0,0", "--dest", "1,1"])
+        assert exc_info.value.code == 2
+        assert "invalid choice: 'nope'" in capsys.readouterr().err
+
+
+class TestServeConfig:
+    def test_invalid_worker_count(self, tmp_path, capsys):
+        sock = str(tmp_path / "svc.sock")
+        assert main(["serve", "--socket", sock, "--workers", "0"]) == 2
+        assert "workers" in _one_line_error(capsys)
+
+    def test_invalid_chaos_rates(self, tmp_path, capsys):
+        sock = str(tmp_path / "svc.sock")
+        assert (
+            main(["serve", "--socket", sock, "--chaos-kill", "0.9",
+                  "--chaos-drop", "0.9"])
+            == 2
+        )
+        assert "rates sum" in _one_line_error(capsys)

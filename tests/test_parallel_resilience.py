@@ -19,6 +19,7 @@ from repro.parallel import (
     NoResultsError,
     SweepError,
     SweepJob,
+    SweepStats,
     pooled_latency,
     replicate,
     run_sweep,
@@ -270,6 +271,79 @@ print("COMPLETE", sum(1 for r in results if r is not None))
         }
         assert checkpointed == set(range(6))
         assert len(rerun) <= 6 - done_before
+
+
+class TestSweepStatsAccounting:
+    def test_sigkill_victim_counted_and_checkpoint_consistent(
+        self, tmp_path, monkeypatch
+    ):
+        """The audit the issue asks for: SIGKILL one worker mid-job and
+        check the ledger balances — the crash shows up in ``crashes``,
+        the granted re-run in ``retries``, ``attempts`` = first tries +
+        retries, and the checkpoint holds exactly one record per job."""
+        import repro.parallel as parallel
+
+        ck = str(tmp_path / "sweep.jsonl")
+        marker = str(tmp_path / "died-once")
+        jobs = _jobs(3)
+        victim_seed = jobs[1].config.seed
+        real = parallel._run_job
+
+        def kill_once(job):
+            if job.config.seed == victim_seed and not os.path.exists(marker):
+                # the marker is written *before* dying so only the first
+                # attempt is sabotaged; SIGKILL leaves no exit handler a
+                # chance — the supervisor sees a silent death
+                with open(marker, "w") as fh:
+                    fh.write("x")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(job)
+
+        monkeypatch.setattr(parallel, "_run_job", kill_once)
+        stats = SweepStats()
+        results = run_sweep(
+            jobs, workers=2, retries=1, timeout=60, checkpoint=ck, stats=stats
+        )
+        assert all(r is not None for r in results)
+        assert stats.completed == 3
+        assert stats.crashes == 1
+        assert stats.retries == 1
+        assert stats.attempts == 4  # 3 first tries + 1 granted re-run
+        assert stats.resumed == 0
+        assert stats.timeouts == 0
+        assert stats.errors == 0
+        assert stats.failed_jobs == 0
+        # the kill must not have torn the checkpoint: one durable record
+        # per job, none for the killed attempt
+        records = [json.loads(line) for line in Path(ck).read_text().splitlines()]
+        assert sorted(r["index"] for r in records) == [0, 1, 2]
+
+        # resume replays everything from the checkpoint: no processes
+        # launched, and the ledger says so
+        stats2 = SweepStats()
+        resumed = run_sweep(
+            jobs, workers=2, retries=1, checkpoint=ck, resume=True, stats=stats2
+        )
+        assert resumed == results
+        assert stats2.resumed == 3
+        assert stats2.attempts == 0
+        assert stats2.completed == 0
+
+    def test_clean_sweep_ledger(self):
+        stats = SweepStats()
+        run_sweep(_jobs(3), workers=2, retries=1, stats=stats)
+        assert stats.to_dict() == {
+            "attempts": 3,
+            "completed": 3,
+            "resumed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "errors": 0,
+            "failed_jobs": 0,
+        }
 
 
 class TestSerialization:

@@ -1,0 +1,144 @@
+"""Backoff/jitter schedule properties (`repro.retry`).
+
+One module feeds two consumers — `run_resilient`'s source-retry delays
+and the service supervisor's requeue backoff — so these properties pin
+both at once: determinism under a fixed seed, the undithered schedule
+as an upper bound, and the remaining-deadline cap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retry import backoff_delay, jitter_unit, retry_delay
+
+seeds = st.integers(min_value=0, max_value=2**64 - 1)
+request_ids = st.integers(min_value=0, max_value=2**32)
+attempts = st.integers(min_value=0, max_value=20)
+bases = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+factors = st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+jitters = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestBackoffDelay:
+    def test_exact_schedule(self):
+        assert backoff_delay(0, base=0.2, factor=2.0) == 0.2
+        assert backoff_delay(1, base=0.2, factor=2.0) == 0.4
+        assert backoff_delay(3, base=0.2, factor=2.0) == 1.6
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(-1, base=0.1, factor=2.0)
+
+    def test_matches_run_resilient_expression(self):
+        """`run_resilient` historically computed
+        ``retry_timeout * retry_backoff ** used`` inline; the shared
+        helper must be bit-identical so fault-parity suites stay
+        green."""
+        retry_timeout, retry_backoff = 200e-6, 2.0
+        for used in range(8):
+            assert backoff_delay(used, base=retry_timeout, factor=retry_backoff) == (
+                retry_timeout * retry_backoff**used
+            )
+
+    @given(attempt=attempts, base=bases, factor=factors)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_attempt(self, attempt, base, factor):
+        assert backoff_delay(attempt + 1, base=base, factor=factor) >= backoff_delay(
+            attempt, base=base, factor=factor
+        )
+
+
+class TestJitterUnit:
+    @given(seed=seeds, request_id=request_ids, attempt=attempts)
+    @settings(max_examples=200, deadline=None)
+    def test_unit_interval_and_deterministic(self, seed, request_id, attempt):
+        u = jitter_unit(seed, request_id, attempt)
+        assert 0.0 <= u < 1.0
+        assert u == jitter_unit(seed, request_id, attempt)
+
+    def test_streams_decorrelated(self):
+        """Different requests (and different attempts of one request)
+        draw from visibly different points of the stream."""
+        draws = {jitter_unit(1, rid, a) for rid in range(32) for a in range(4)}
+        assert len(draws) == 32 * 4
+
+
+class TestRetryDelay:
+    @given(
+        attempt=attempts,
+        base=bases,
+        factor=factors,
+        jitter=jitters,
+        seed=seeds,
+        request_id=request_ids,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_by_undithered_schedule(
+        self, attempt, base, factor, jitter, seed, request_id
+    ):
+        delay = retry_delay(
+            attempt,
+            base=base,
+            factor=factor,
+            jitter=jitter,
+            seed=seed,
+            request_id=request_id,
+        )
+        ceiling = backoff_delay(attempt, base=base, factor=factor)
+        assert 0.0 <= delay <= ceiling
+        # jitter only ever pulls the delay *down* (never past a
+        # request deadline), by at most the jitter fraction
+        if math.isfinite(ceiling):
+            assert delay >= ceiling * (1.0 - jitter) * (1.0 - 1e-12)
+
+    @given(
+        attempt=attempts,
+        base=bases,
+        factor=factors,
+        jitter=jitters,
+        seed=seeds,
+        request_id=request_ids,
+        remaining=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_remaining_deadline(
+        self, attempt, base, factor, jitter, seed, request_id, remaining
+    ):
+        delay = retry_delay(
+            attempt,
+            base=base,
+            factor=factor,
+            jitter=jitter,
+            seed=seed,
+            request_id=request_id,
+            remaining=remaining,
+        )
+        assert delay <= remaining
+
+    @given(seed=seeds, request_id=request_ids, attempt=attempts)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_under_fixed_seed(self, seed, request_id, attempt):
+        kwargs = dict(
+            base=0.01, factor=2.0, jitter=0.5, seed=seed, request_id=request_id
+        )
+        assert retry_delay(attempt, **kwargs) == retry_delay(attempt, **kwargs)
+
+    def test_zero_jitter_is_pure_backoff(self):
+        for attempt in range(6):
+            assert retry_delay(attempt, base=0.01, factor=2.0) == backoff_delay(
+                attempt, base=0.01, factor=2.0
+            )
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            retry_delay(0, base=0.01, factor=2.0, jitter=1.5)
+        with pytest.raises(ValueError):
+            retry_delay(0, base=0.01, factor=2.0, jitter=-0.1)
+
+    def test_negative_remaining_clamps_to_zero(self):
+        assert retry_delay(3, base=0.1, factor=2.0, remaining=-1.0) == 0.0
