@@ -46,7 +46,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.labeling import canonical_labeling
 from repro.labeling.reference import ReferenceRouting
 from repro.parallel import SweepJob, run_sweep
-from repro.sim import LegacyEnvironment, SimConfig
+from repro.sim import LegacyEnvironment, SimConfig  # lint: ignore[no-legacy-environment]
 from repro.sim.kernel import Environment
 from repro.sim.runner import run_dynamic
 from repro.sim.traffic import Router
@@ -114,7 +114,7 @@ def events_per_second(env_cls, chains: int, steps: int, timers: int):
 
 
 def bench_event_kernel(params: dict) -> dict:
-    legacy_eps, n = events_per_second(LegacyEnvironment, **params)
+    legacy_eps, n = events_per_second(LegacyEnvironment, **params)  # lint: ignore[no-legacy-environment]
     fast_eps, n2 = events_per_second(Environment, **params)
     assert n == n2
     return {
@@ -140,7 +140,7 @@ def bench_dynamic_run(params: dict, repeats: int = 2) -> dict:
     cfg = _dynamic_config(params["messages"], params["interarrival_us"])
 
     legacy_wall, legacy = _best_of(
-        lambda: run_dynamic(mesh, "dual-path", cfg, env_factory=LegacyEnvironment),
+        lambda: run_dynamic(mesh, "dual-path", cfg, env_factory=LegacyEnvironment),  # lint: ignore[no-legacy-environment]
         repeats,
     )
     fast_wall, fast = _best_of(lambda: run_dynamic(mesh, "dual-path", cfg), repeats)
@@ -175,7 +175,7 @@ def _run_seed_path(job: SweepJob):
     )
     return run_dynamic(
         job.topology, job.scheme, job.config,
-        router=router, env_factory=LegacyEnvironment,
+        router=router, env_factory=LegacyEnvironment,  # lint: ignore[no-legacy-environment]
     )
 
 

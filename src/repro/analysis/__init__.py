@@ -20,7 +20,13 @@ claims from test-time spot checks into machine-checked artifacts:
   label monotonicity, reachability, subnetwork partition soundness and
   virtual-channel layering, applied to every routable spec;
 * :mod:`repro.analysis.lint` — the repo-specific AST lint pass
-  (``python -m repro lint``) with a plugin-style rule API.
+  (``python -m repro lint``) with a plugin-style rule API, including
+  the concurrency-ownership rules for the service supervisor;
+* :mod:`repro.analysis.model` — the explicit-state model checker
+  (``python -m repro modelcheck``): exhaustive BFS verification of the
+  routing service's request-lifecycle, circuit-breaker and
+  worker-heartbeat machines (safety + liveness-under-fairness) with
+  certificates committed under ``analysis/certificates/service/``.
 
 Front ends: ``python -m repro certify [--all]`` and
 ``python -m repro lint``; both run in CI (the ``analyze`` job).
@@ -58,8 +64,34 @@ from .invariants import (
     check_vc_layering,
 )
 from .lint import LintFinding, lint_paths, rule, rules
+from .model import (
+    MACHINES,
+    Machine,
+    ModelCertificate,
+    ModelCheckResult,
+    SafetyProperty,
+    Transition,
+    UnknownMachineError,
+    Violation,
+    build_machines,
+    check_conformance,
+    check_machine,
+    modelcheck_all,
+)
 
 __all__ = [
+    "MACHINES",
+    "Machine",
+    "ModelCertificate",
+    "ModelCheckResult",
+    "SafetyProperty",
+    "Transition",
+    "UnknownMachineError",
+    "Violation",
+    "build_machines",
+    "check_conformance",
+    "check_machine",
+    "modelcheck_all",
     "REPRESENTATIVE_TOPOLOGIES",
     "Certificate",
     "CertificationError",

@@ -189,6 +189,7 @@ _GLOBAL_RNG_FNS = frozenset(
 def no_unseeded_rng(ctx: FileContext) -> Iterator[tuple]:
     random_aliases = ctx.module_aliases("random")
     numpy_aliases = ctx.module_aliases("numpy") | ctx.module_aliases("numpy.random")
+    random_class_aliases = set()
     for node in ctx.walk(ast.ImportFrom):
         if node.module == "random":
             bad = sorted(
@@ -196,8 +197,19 @@ def no_unseeded_rng(ctx: FileContext) -> Iterator[tuple]:
             )
             if bad:
                 yield node, f"imports global-RNG functions {bad} from random"
+            for item in node.names:
+                if item.name == "Random":
+                    random_class_aliases.add(item.asname or item.name)
     for node in ctx.walk(ast.Call):
         fn = node.func
+        # from random import Random; Random()  (seedless via the alias)
+        if (
+            isinstance(fn, ast.Name)
+            and fn.id in random_class_aliases
+            and not node.args
+            and not node.keywords
+        ):
+            yield node, "Random() constructed without a seed"
         if not isinstance(fn, ast.Attribute) or not isinstance(fn.value, (ast.Name, ast.Attribute)):
             continue
         # random.Random() with no seed / random.<stateful>()
@@ -247,6 +259,243 @@ def no_bare_except(ctx: FileContext) -> Iterator[tuple]:
     for node in ctx.walk(ast.ExceptHandler):
         if node.type is None:
             yield node, "bare except clause"
+
+
+# ----------------------------------------------------------------------
+# Concurrency-ownership rules (the service supervisor's threading
+# discipline, statically enforced — see docs/VERIFICATION.md).
+#
+# Annotation grammar, read from line comments:
+#   self._pending = []            # owned-by: dispatcher
+#   self._seq = 0                 # guarded-by: _lock
+#   def _on_result(self, ...):    # thread: dispatcher
+# ----------------------------------------------------------------------
+
+_OWNED_RE = re.compile(r"#\s*owned-by:\s*dispatcher\b")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+_THREAD_RE = re.compile(r"#\s*thread:\s*dispatcher\b")
+
+#: method names that mutate their receiver in place
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "clear", "discard", "extend",
+        "insert", "pop", "popleft", "popitem", "remove", "reverse",
+        "setdefault", "sort", "update",
+    }
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """The attribute name if ``node`` is ``self.X`` (peeling
+    ``self.X[...]`` subscripts), else None."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_self_attrs(node: ast.AST) -> Iterator[str]:
+    """``self.X`` attributes this single statement/expression mutates:
+    assignments (plain, augmented, annotated, unpacking), deletions,
+    and in-place mutator calls like ``self.X.append(...)``."""
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for elt in elts:
+                attr = _self_attr(elt)
+                if attr is not None:
+                    yield attr
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                yield attr
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATOR_METHODS:
+            attr = _self_attr(node.func.value)
+            if attr is not None:
+                yield attr
+
+
+def _annotated_attrs(ctx: FileContext, klass: ast.ClassDef) -> tuple[set, dict]:
+    """(owned attrs, guarded attr -> lock attr) declared in ``klass``
+    via ``# owned-by: dispatcher`` / ``# guarded-by: <lock>`` comments
+    on the attribute's assignment lines."""
+    lines = ctx.source.splitlines()
+    owned: set[str] = set()
+    guarded: dict[str, str] = {}
+    for node in ast.walk(klass):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None or not (0 < node.lineno <= len(lines)):
+                continue
+            text = lines[node.lineno - 1]
+            if _OWNED_RE.search(text):
+                owned.add(attr)
+            match = _GUARDED_RE.search(text)
+            if match:
+                guarded[attr] = match.group(1)
+    return owned, guarded
+
+
+def _methods(klass: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        node
+        for node in klass.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _dispatcher_tagged(ctx: FileContext, fn: ast.AST) -> bool:
+    lines = ctx.source.splitlines()
+    lineno = getattr(fn, "lineno", 0)
+    return 0 < lineno <= len(lines) and bool(_THREAD_RE.search(lines[lineno - 1]))
+
+
+@rule(
+    "dispatcher-ownership",
+    "state annotated `# owned-by: dispatcher` may only be mutated by "
+    "methods annotated `# thread: dispatcher` (all other threads must "
+    "go through the intake queue); untagged methods must not call "
+    "dispatcher-thread methods",
+)
+def dispatcher_ownership(ctx: FileContext) -> Iterator[tuple]:
+    for klass in ctx.walk(ast.ClassDef):
+        owned, _ = _annotated_attrs(ctx, klass)
+        if not owned:
+            continue
+        methods = _methods(klass)
+        dispatcher_names = {
+            fn.name for fn in methods if _dispatcher_tagged(ctx, fn)
+        }
+        for fn in methods:
+            if fn.name == "__init__" or fn.name in dispatcher_names:
+                # construction happens-before the dispatcher starts
+                continue
+            for node in ast.walk(fn):
+                for attr in _mutated_self_attrs(node):
+                    if attr in owned:
+                        yield node, (
+                            f"{klass.name}.{fn.name} mutates dispatcher-owned "
+                            f"self.{attr} without a `# thread: dispatcher` tag"
+                        )
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in dispatcher_names
+                ):
+                    yield node, (
+                        f"{klass.name}.{fn.name} calls dispatcher-thread "
+                        f"method {node.func.attr} from an untagged method"
+                    )
+
+
+#: constructors whose products are real concurrency locks (simulated
+#: wormhole-channel acquire/release in repro.sim is *not* in scope)
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _lock_bindings(ctx: FileContext) -> tuple[set, set]:
+    """(attribute names, local names) bound to ``threading.Lock()``-
+    style constructors anywhere in this file."""
+    attrs: set[str] = set()
+    names: set[str] = set()
+    for node in ctx.walk(ast.Assign, ast.AnnAssign):
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        fn = value.func
+        is_lock = (isinstance(fn, ast.Attribute) and fn.attr in _LOCK_FACTORIES) or (
+            isinstance(fn, ast.Name) and fn.id in _LOCK_FACTORIES
+        )
+        if not is_lock:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                attrs.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return attrs, names
+
+
+@rule(
+    "lock-discipline",
+    "explicit .acquire()/.release() on a threading lock is forbidden — "
+    "use a `with` block so the lock is released on every exit path",
+)
+def lock_discipline(ctx: FileContext) -> Iterator[tuple]:
+    attrs, names = _lock_bindings(ctx)
+    if not attrs and not names:
+        return
+    for node in ctx.walk(ast.Call):
+        fn = node.func
+        if not isinstance(fn, ast.Attribute) or fn.attr not in ("acquire", "release"):
+            continue
+        receiver = fn.value
+        is_lock = (isinstance(receiver, ast.Attribute) and receiver.attr in attrs) or (
+            isinstance(receiver, ast.Name) and receiver.id in names
+        )
+        if is_lock:
+            yield node, (
+                f"explicit .{fn.attr}() on a lock — use a `with` block"
+            )
+
+
+@rule(
+    "guarded-mutation",
+    "state annotated `# guarded-by: <lock>` may only be mutated inside "
+    "a `with self.<lock>:` block (reads for monitoring are exempt)",
+)
+def guarded_mutation(ctx: FileContext) -> Iterator[tuple]:
+    for klass in ctx.walk(ast.ClassDef):
+        _, guarded = _annotated_attrs(ctx, klass)
+        if not guarded:
+            continue
+        findings: list[tuple] = []
+
+        def visit(node: ast.AST, held: frozenset, fn_name: str) -> None:
+            if isinstance(node, ast.With):
+                acquired = {
+                    item.context_expr.attr
+                    for item in node.items
+                    if isinstance(item.context_expr, ast.Attribute)
+                    and isinstance(item.context_expr.value, ast.Name)
+                    and item.context_expr.value.id == "self"
+                }
+                held = held | frozenset(acquired)
+            for attr in _mutated_self_attrs(node):
+                lock = guarded.get(attr)
+                if lock is not None and lock not in held:
+                    findings.append(
+                        (
+                            node,
+                            f"{klass.name}.{fn_name} mutates self.{attr} "
+                            f"outside `with self.{lock}`",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held, fn_name)
+
+        for fn in _methods(klass):
+            if fn.name == "__init__":
+                continue  # construction happens-before any other thread
+            for child in ast.iter_child_nodes(fn):
+                visit(child, frozenset(), fn.name)
+        yield from findings
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Explicit-state model checking of the routing-service protocols.
+
+``python -m repro modelcheck`` drives :func:`modelcheck_all`: build the
+three production machines (request lifecycle, circuit breaker, worker
+heartbeat), verify them exhaustively (safety at every reachable state,
+liveness as the bottom-SCC fairness condition), check that every model
+transition still binds to real service code, and emit one certificate
+artifact per machine under ``analysis/certificates/service/``.
+
+See :mod:`repro.analysis.model.checker` for the kernel,
+:mod:`repro.analysis.model.machines` for the formal models, and
+``docs/VERIFICATION.md`` for the certificate format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .checker import (
+    ARTIFACT_SCHEMA,
+    Machine,
+    ModelCertificate,
+    ModelCheckResult,
+    SafetyProperty,
+    StateSpaceError,
+    Transition,
+    Violation,
+    canonical_state,
+    check_machine,
+    load_certificate,
+    write_certificates,
+)
+from .conformance import PROTOCOL_METHODS, check_conformance, resolve_binding
+from .machines import (
+    MACHINES,
+    UnknownMachineError,
+    build_machines,
+    circuit_breaker_machine,
+    request_lifecycle_machine,
+    worker_heartbeat_machine,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "MACHINES",
+    "Machine",
+    "ModelCertificate",
+    "ModelCheckResult",
+    "PROTOCOL_METHODS",
+    "SafetyProperty",
+    "StateSpaceError",
+    "Transition",
+    "UnknownMachineError",
+    "Violation",
+    "build_machines",
+    "canonical_state",
+    "check_conformance",
+    "check_machine",
+    "circuit_breaker_machine",
+    "load_certificate",
+    "modelcheck_all",
+    "request_lifecycle_machine",
+    "resolve_binding",
+    "worker_heartbeat_machine",
+    "write_certificates",
+]
+
+
+def modelcheck_all(
+    only: list[str] | None = None,
+    out_dir: str | Path | None = "analysis/certificates/service",
+) -> tuple[list[ModelCheckResult], list[str]]:
+    """Verify the production machines and write their certificates.
+
+    Returns ``(results, failures)`` where ``failures`` collects
+    conformance errors (stringified); property violations live on the
+    individual results.  Certificates are written only for machines
+    that verified clean, and only when ``out_dir`` is truthy.
+    """
+    machines = build_machines(only)
+    # conformance always judges the full production set: a --only
+    # filter narrows what is re-verified, not what the models promise
+    failures = check_conformance(machines if only is None else build_machines())
+    results = [check_machine(machine) for machine in machines]
+    if out_dir:
+        write_certificates(results, out_dir)
+    return results, failures

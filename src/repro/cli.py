@@ -492,6 +492,37 @@ def cmd_certify(args) -> int:
     return 1 if failures or violations else 0
 
 
+def cmd_modelcheck(args) -> int:
+    from .analysis.model import UnknownMachineError, modelcheck_all
+
+    try:
+        results, failures = modelcheck_all(
+            only=args.machine or None, out_dir=args.out or None
+        )
+    except UnknownMachineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations = 0
+    for result in results:
+        if result.ok:
+            print(
+                f"verified   {result.machine.name:<22} "
+                f"{result.states} states / {result.edges} edges "
+                f"(digest {result.relation_digest[:12]})"
+            )
+        for violation in result.violations:
+            violations += 1
+            print(f"VIOLATION  {violation}")
+    print(
+        f"{sum(1 for r in results if r.ok)} machines verified, "
+        f"{violations} violations, {len(failures)} conformance failures"
+        + (f"; certificates in {args.out}" if args.out else "")
+    )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures or violations else 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.lint import lint_paths, rules
 
@@ -735,6 +766,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scheme", action="append", default=[],
                    help="certify only this scheme (repeatable; default: all)")
+    p.add_argument("--only", action="append", dest="scheme",
+                   help="alias for --scheme, mirroring `modelcheck --only`")
     p.add_argument("--all", action="store_true",
                    help="certify every registered claim (the default; "
                         "explicit for CI readability)")
@@ -744,6 +777,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-invariants", action="store_true",
                    help="skip the routing-invariant sweep")
     p.set_defaults(func=cmd_certify)
+
+    p = sub.add_parser(
+        "modelcheck",
+        help="exhaustively verify the service's protocol state machines",
+    )
+    p.add_argument("--only", action="append", dest="machine", default=[],
+                   help="check only this machine (repeatable; default: all — "
+                        "request-lifecycle, circuit-breaker, worker-heartbeat)")
+    p.add_argument("--out", default="analysis/certificates/service",
+                   help="directory for the JSON certificate artifacts "
+                        "('' = do not write artifacts)")
+    p.set_defaults(func=cmd_modelcheck)
 
     p = sub.add_parser("serve", help="run the resilient routing daemon")
     p.add_argument("--socket", required=True,

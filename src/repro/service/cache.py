@@ -19,11 +19,20 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable
+from typing import Any
 
-__all__ = ["RoutePlanCache", "route_key"]
+from .protocol import RouteResponse
+
+__all__ = ["CacheKey", "RoutePlanCache", "route_key"]
+
+#: ``(topology_repr, scheme, source, frozenset(destinations))``.
+CacheKey = tuple[str, str, Any, frozenset[Any]]
 
 
-def route_key(topology_repr: str, scheme: str, source, destinations) -> tuple:
+def route_key(
+    topology_repr: str, scheme: str, source: Any, destinations: Iterable[Any]
+) -> CacheKey:
     """The canonical cache key (destination order must not matter)."""
     return (topology_repr, scheme, source, frozenset(destinations))
 
@@ -36,11 +45,11 @@ class RoutePlanCache:
     it, so every operation takes the internal lock.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024) -> None:
         if capacity < 0:
             raise ValueError(f"capacity cannot be negative, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: OrderedDict[CacheKey, RouteResponse] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -50,7 +59,7 @@ class RoutePlanCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key):
+    def get(self, key: CacheKey) -> RouteResponse | None:
         """The cached value (refreshed to most-recently-used) or
         ``None``; every call counts as a hit or a miss."""
         with self._lock:
@@ -63,7 +72,7 @@ class RoutePlanCache:
             self.hits += 1
             return value
 
-    def peek(self, key):
+    def peek(self, key: CacheKey) -> RouteResponse | None:
         """The cached value (refreshed) or ``None``, without touching
         the hit/miss counters — for the dispatcher's second probe of a
         request already counted as a miss at admission."""
@@ -73,7 +82,7 @@ class RoutePlanCache:
                 self._entries.move_to_end(key)
             return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: CacheKey, value: RouteResponse) -> None:
         """Insert/refresh an entry, evicting the least recently used
         one past capacity.  A zero-capacity cache stores nothing (every
         lookup is a miss) but keeps counting."""
@@ -96,7 +105,7 @@ class RoutePlanCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Counters snapshot for reports and benchmarks."""
         with self._lock:
             total = self.hits + self.misses

@@ -28,7 +28,9 @@ Actions (worker-side effects live in :mod:`repro.service.worker`):
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import Any
 
 from ..retry import jitter_unit
 
@@ -58,7 +60,7 @@ class ChaosPlan:
     stall_rate: float = 0.0
     delay_s: float = 0.05
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         rates = (self.kill_rate, self.delay_rate, self.drop_rate, self.stall_rate)
         for name, rate in zip(("kill", "delay", "drop", "stall"), rates):
             if not 0.0 <= rate <= 1.0:
@@ -94,7 +96,7 @@ class ChaosPlan:
             u -= rate
         return None
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, float]:
         return {
             "seed": self.seed,
             "kill_rate": self.kill_rate,
@@ -105,7 +107,7 @@ class ChaosPlan:
         }
 
     @classmethod
-    def from_json(cls, data: dict) -> "ChaosPlan":
+    def from_json(cls, data: Mapping[str, Any]) -> "ChaosPlan":
         return cls(
             seed=int(data["seed"]),
             kill_rate=float(data.get("kill_rate", 0.0)),

@@ -10,6 +10,8 @@ generator just opens several clients.
 from __future__ import annotations
 
 import socket
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from .protocol import ProtocolError, RouteRequest, RouteResponse, decode_line, encode_line
 
@@ -19,13 +21,14 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """Connects to the unix socket of a running routing daemon."""
 
-    def __init__(self, path: str, timeout: float | None = 30.0):
+    def __init__(self, path: str, timeout: float | None = 30.0) -> None:
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.settimeout(timeout)
         self._sock.connect(path)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
-        self._mailbox: dict = {}  # request_id -> response read early
+        # request_id -> response read early
+        self._mailbox: dict[Any, dict[str, Any]] = {}
 
     def close(self) -> None:
         self._file.close()
@@ -34,16 +37,16 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- wire helpers -------------------------------------------------
 
-    def _send(self, payload: dict) -> None:
+    def _send(self, payload: Mapping[str, Any]) -> None:
         self._file.write(encode_line(payload))
         self._file.flush()
 
-    def _recv_for(self, request_id) -> dict:
+    def _recv_for(self, request_id: int) -> dict[str, Any]:
         """Read lines until the one correlated to ``request_id``.
 
         Pipelined responses complete in *service* order, not send
@@ -72,8 +75,8 @@ class ServiceClient:
         self,
         topology: str,
         scheme: str,
-        source,
-        destinations,
+        source: Any,
+        destinations: Iterable[Any],
         budget: int | None = None,
         deadline: float | None = None,
         request_id: int | None = None,
@@ -103,7 +106,7 @@ class ServiceClient:
     def collect(self, request_id: int) -> RouteResponse:
         return RouteResponse.from_json(self._recv_for(request_id))
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """The daemon's live :meth:`RouteService.report` snapshot."""
         request_id = self._fresh_id()
         self._send({"op": "stats", "request_id": request_id})

@@ -14,7 +14,9 @@ from :data:`ERROR_CODES`.  Raw tracebacks never cross the wire.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
+from typing import Any
 
 __all__ = [
     "ERROR_CODES",
@@ -54,7 +56,7 @@ class ServiceOverloaded(RuntimeError):
     :meth:`RouteResponse.require` so callers can back off)."""
 
 
-def tupled(value):
+def tupled(value: Any) -> Any:
     """Restore node addresses after JSON: lists become tuples,
     recursively; everything else passes through."""
     if isinstance(value, list):
@@ -76,13 +78,13 @@ class RouteRequest:
     request_id: int
     topology: str  # spec, e.g. "mesh:8x8" | "cube:4" (cli.parse_topology)
     scheme: str
-    source: object
-    destinations: tuple
+    source: Any
+    destinations: tuple[Any, ...]
     budget: int | None = None
     deadline: float | None = None
 
-    def to_json(self) -> dict:
-        out = {
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "op": "route",
             "request_id": self.request_id,
             "topology": self.topology,
@@ -97,7 +99,7 @@ class RouteRequest:
         return out
 
     @classmethod
-    def from_json(cls, data: dict) -> "RouteRequest":
+    def from_json(cls, data: Mapping[str, Any]) -> "RouteRequest":
         try:
             return cls(
                 request_id=int(data["request_id"]),
@@ -133,7 +135,7 @@ class RouteResponse:
     attempts: int = 0
     cache_hit: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.ok and self.error not in ERROR_CODES:
             raise ValueError(
                 f"error must be one of {ERROR_CODES}, got {self.error!r}"
@@ -156,8 +158,8 @@ class RouteResponse:
             raise ServiceOverloaded(self.detail or "service overloaded")
         raise RuntimeError(f"{self.error}: {self.detail}")
 
-    def to_json(self) -> dict:
-        out: dict = {"request_id": self.request_id, "ok": self.ok}
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"request_id": self.request_id, "ok": self.ok}
         if self.ok:
             out.update(
                 scheme=self.scheme,
@@ -171,7 +173,7 @@ class RouteResponse:
         return out
 
     @classmethod
-    def from_json(cls, data: dict) -> "RouteResponse":
+    def from_json(cls, data: Mapping[str, Any]) -> "RouteResponse":
         try:
             return cls(
                 request_id=int(data["request_id"]),
@@ -189,12 +191,12 @@ class RouteResponse:
             raise ProtocolError(f"malformed route response: {exc}") from exc
 
 
-def encode_line(payload: dict) -> bytes:
+def encode_line(payload: Mapping[str, Any]) -> bytes:
     """One JSONL wire line (compact separators, trailing newline)."""
     return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def decode_line(line: bytes | str) -> dict:
+def decode_line(line: bytes | str) -> dict[str, Any]:
     """Parse one wire line into a dict (:class:`ProtocolError` on
     garbage — the server answers those with ``bad-request``)."""
     if isinstance(line, bytes):

@@ -24,23 +24,34 @@ import asyncio
 import contextlib
 import os
 import signal
+from collections.abc import Callable, Mapping
+from concurrent.futures import Future
+from typing import Any
 
-from .protocol import ProtocolError, RouteRequest, encode_line, decode_line
+from .protocol import ProtocolError, RouteRequest, RouteResponse, encode_line, decode_line
 from .supervisor import RouteService, ServiceConfig
 
 __all__ = ["serve", "serve_async"]
 
+#: ``ready(report)`` callback fired once the socket is listening.
+ReadyHook = Callable[[Mapping[str, Any]], object]
 
-async def _handle_connection(service, shutdown, reader, writer) -> None:
+
+async def _handle_connection(
+    service: RouteService,
+    shutdown: asyncio.Event,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
     write_lock = asyncio.Lock()
-    route_tasks: set = set()
+    route_tasks: set[asyncio.Task[None]] = set()
 
-    async def send(payload: dict) -> None:
+    async def send(payload: Mapping[str, Any]) -> None:
         async with write_lock:
             writer.write(encode_line(payload))
             await writer.drain()
 
-    async def answer_route(future, request_id) -> None:
+    async def answer_route(future: Future[RouteResponse], request_id: int) -> None:
         response = await asyncio.wrap_future(future)
         await send(response.to_json())
 
@@ -109,7 +120,9 @@ async def _handle_connection(service, shutdown, reader, writer) -> None:
             writer.close()
 
 
-async def serve_async(service: RouteService, path: str, ready=None) -> None:
+async def serve_async(
+    service: RouteService, path: str, ready: ReadyHook | None = None
+) -> None:
     """Serve until a ``shutdown`` op or SIGTERM/SIGINT arrives.
 
     ``ready(report)`` fires once the socket is listening — the CLI
@@ -136,7 +149,7 @@ async def serve_async(service: RouteService, path: str, ready=None) -> None:
 
 
 def serve(
-    path: str, config: ServiceConfig | None = None, ready=None
+    path: str, config: ServiceConfig | None = None, ready: ReadyHook | None = None
 ) -> None:
     """Blocking daemon entry point (``python -m repro serve``): start a
     :class:`RouteService`, bind ``path``, run until shut down."""

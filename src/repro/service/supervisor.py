@@ -35,6 +35,14 @@ Threading model: ``submit()`` (any thread) only touches the intake
 queue, the cache, and the counters lock; all worker and breaker state
 belongs to the single dispatcher thread.  Futures are resolved exactly
 once, guarded by the dispatch record's ``resolved`` flag.
+
+The discipline is machine-checked: attributes carry ``# owned-by:
+dispatcher`` / ``# guarded-by: _lock`` annotations and dispatcher-only
+methods carry ``# thread: dispatcher``, which the
+``dispatcher-ownership`` / ``guarded-mutation`` / ``lock-discipline``
+rules of :mod:`repro.analysis.lint` verify over the AST, and the
+protocol itself is verified exhaustively by ``python -m repro
+modelcheck`` (:mod:`repro.analysis.model`).
 """
 
 from __future__ import annotations
@@ -45,11 +53,15 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
 
 from .. import registry
 from ..parallel import kill_process
 from ..retry import retry_delay
-from .cache import RoutePlanCache, route_key
+from .cache import CacheKey, RoutePlanCache, route_key
 from .chaos import ChaosPlan
 from .protocol import RouteRequest, RouteResponse
 from .worker import _parse_topology, worker_main
@@ -82,7 +94,7 @@ class ServiceConfig:
     seed: int = 1
     chaos: ChaosPlan | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         def require(ok: bool, name: str, why: str) -> None:
             if not ok:
                 raise ValueError(
@@ -117,7 +129,7 @@ class CircuitBreaker:
     request errors like ``unroutable`` never trip it.
     """
 
-    def __init__(self, threshold: int, cooldown: float):
+    def __init__(self, threshold: int, cooldown: float) -> None:
         self.threshold = threshold
         self.cooldown = cooldown
         self.state = "closed"
@@ -147,7 +159,7 @@ class CircuitBreaker:
             self.state = "open"
             self.opened_at = now
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "state": self.state,
             "failures": self.failures,
@@ -164,8 +176,8 @@ class _Dispatch:
     request: RouteRequest
     scheme: str  # canonical primary scheme name
     fallback: str | None  # canonical fallback name, topology-checked
-    cache_key: tuple
-    future: Future
+    cache_key: CacheKey
+    future: Future[RouteResponse]
     deadline_abs: float
     submitted_at: float
     attempts: int = 0
@@ -181,7 +193,7 @@ class _Dispatch:
 class _WorkerHandle:
     """Supervisor-side view of one worker process."""
 
-    def __init__(self, ctx, heartbeat_interval: float):
+    def __init__(self, ctx: BaseContext, heartbeat_interval: float) -> None:
         self._ctx = ctx
         self._hb = heartbeat_interval
         self.busy: _Dispatch | None = None
@@ -224,17 +236,17 @@ class RouteService:
             response = fut.result()
     """
 
-    def __init__(self, config: ServiceConfig | None = None):
+    def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.cache = RoutePlanCache(self.config.cache_capacity)
-        self._intake: queue.Queue = queue.Queue(maxsize=self.config.queue_bound)
-        self._pending: list[_Dispatch] = []
-        self._workers: list[_WorkerHandle] = []
-        self._breakers: dict[tuple, CircuitBreaker] = {}
+        self._intake: queue.Queue[_Dispatch] = queue.Queue(maxsize=self.config.queue_bound)
+        self._pending: list[_Dispatch] = []  # owned-by: dispatcher
+        self._workers: list[_WorkerHandle] = []  # owned-by: dispatcher
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}  # owned-by: dispatcher
         self._lock = threading.Lock()  # counters + seq + lifecycle flags
-        self._seq = 0
-        self._outstanding = 0
-        self._counters = {
+        self._seq = 0  # guarded-by: _lock
+        self._outstanding = 0  # guarded-by: _lock
+        self._counters = {  # guarded-by: _lock
             "submitted": 0,
             "completed": 0,  # terminal responses of any kind
             "succeeded": 0,  # ok=True, degraded=False
@@ -254,9 +266,9 @@ class RouteService:
             "chaos_drops": 0,
             "chaos_stalls": 0,
         }
-        self._errors: dict[str, int] = {}
-        self._started = False
-        self._stopped = False
+        self._errors: dict[str, int] = {}  # guarded-by: _lock
+        self._started = False  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
         self._dispatcher: threading.Thread | None = None
 
     # -- lifecycle ----------------------------------------------------
@@ -269,7 +281,9 @@ class RouteService:
         from ..parallel import _pool_context
 
         ctx = _pool_context()
-        self._workers = [
+        # happens-before: the pool is built before the dispatcher
+        # thread exists, so this write cannot race it
+        self._workers = [  # lint: ignore[dispatcher-ownership]
             _WorkerHandle(ctx, self.config.heartbeat_interval)
             for _ in range(self.config.workers)
         ]
@@ -282,7 +296,7 @@ class RouteService:
     def __enter__(self) -> "RouteService":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -300,10 +314,10 @@ class RouteService:
 
     # -- admission ----------------------------------------------------
 
-    def submit(self, request: RouteRequest) -> Future:
+    def submit(self, request: RouteRequest) -> Future[RouteResponse]:
         """Admit one request; the returned future resolves to exactly
         one terminal :class:`RouteResponse` (it never raises)."""
-        future: Future = Future()
+        future: Future[RouteResponse] = Future()
         now = time.monotonic()
         with self._lock:
             self._seq += 1
@@ -396,13 +410,17 @@ class RouteService:
             )
         return future
 
-    def route(self, request: RouteRequest, timeout: float | None = None):
+    def route(self, request: RouteRequest, timeout: float | None = None) -> RouteResponse:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(request).result(timeout=timeout)
 
     def _admission_reject(
-        self, future: Future, request: RouteRequest, code: str, detail: str
-    ) -> Future:
+        self,
+        future: Future[RouteResponse],
+        request: RouteRequest,
+        code: str,
+        detail: str,
+    ) -> Future[RouteResponse]:
         response = RouteResponse(
             request_id=request.request_id, ok=False, error=code, detail=detail
         )
@@ -426,7 +444,7 @@ class RouteService:
                 self._counters["failed"] += 1
                 self._errors[response.error] = self._errors.get(response.error, 0) + 1
 
-    def _resolve(self, dispatch: _Dispatch, response: RouteResponse) -> None:
+    def _resolve(self, dispatch: _Dispatch, response: RouteResponse) -> None:  # thread: dispatcher
         """The only place a dispatched request turns terminal — the
         ``resolved`` guard enforces exactly-once even if two failure
         paths fire in one tick."""
@@ -444,7 +462,7 @@ class RouteService:
         with self._lock:
             return self._outstanding
 
-    def drain(self, timeout: float | None = None) -> dict:
+    def drain(self, timeout: float | None = None) -> dict[str, Any]:
         """Wait until every admitted request is terminal, then return
         :meth:`report` (raises ``TimeoutError`` past ``timeout``)."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -456,9 +474,13 @@ class RouteService:
             time.sleep(0.005)
         return self.report()
 
-    def report(self) -> dict:
+    def report(self) -> dict[str, Any]:
         """Counters + cache + breaker + worker snapshot (the drain
-        report the CI chaos job asserts on)."""
+        report the CI chaos job asserts on).
+
+        Safe from any thread: ``_breakers`` / ``_workers`` are only
+        *read* here (the ownership lint checks mutations), and a
+        slightly stale monitoring snapshot is acceptable."""
         with self._lock:
             counters = dict(self._counters)
             errors = dict(self._errors)
@@ -482,7 +504,7 @@ class RouteService:
 
     # -- dispatcher ---------------------------------------------------
 
-    def _breaker(self, dispatch: _Dispatch) -> CircuitBreaker:
+    def _breaker(self, dispatch: _Dispatch) -> CircuitBreaker:  # thread: dispatcher
         key = (dispatch.scheme, dispatch.request.topology)
         breaker = self._breakers.get(key)
         if breaker is None:
@@ -492,7 +514,7 @@ class RouteService:
             self._breakers[key] = breaker
         return breaker
 
-    def _requeue_or_fail(
+    def _requeue_or_fail(  # thread: dispatcher
         self, dispatch: _Dispatch, now: float, code: str, detail: str
     ) -> None:
         """Crash/hang recovery: requeue with deadline-capped backoff if
@@ -526,7 +548,7 @@ class RouteService:
             ),
         )
 
-    def _reclaim(self, handle: _WorkerHandle, now: float, *, hung: bool) -> None:
+    def _reclaim(self, handle: _WorkerHandle, now: float, *, hung: bool) -> None:  # thread: dispatcher
         """A worker died or hung: recycle it and recover its request."""
         kill_process(handle.process, hard=True)
         exitcode = handle.process.exitcode
@@ -545,7 +567,12 @@ class RouteService:
             )
             self._requeue_or_fail(dispatch, now, "worker-crashed", detail)
 
-    def _on_result(self, handle: _WorkerHandle, dispatch: _Dispatch, outcome) -> None:
+    def _on_result(  # thread: dispatcher
+        self,
+        handle: _WorkerHandle,
+        dispatch: _Dispatch,
+        outcome: tuple[bool, dict[str, Any]],
+    ) -> None:
         now = time.monotonic()
         ok, payload = outcome
         breaker = self._breaker(dispatch)
@@ -594,9 +621,9 @@ class RouteService:
             ),
         )
 
-    def _send_job(self, handle: _WorkerHandle, dispatch: _Dispatch, now: float) -> bool:
+    def _send_job(self, handle: _WorkerHandle, dispatch: _Dispatch, now: float) -> bool:  # thread: dispatcher
         request = dispatch.request
-        job = {
+        job: dict[str, Any] = {
             "seq": dispatch.seq,
             "topology": request.topology,
             "scheme": dispatch.fallback if dispatch.degraded else dispatch.scheme,
@@ -632,7 +659,7 @@ class RouteService:
         handle.busy = dispatch
         return True
 
-    def _dispatch_loop(self) -> None:
+    def _dispatch_loop(self) -> None:  # thread: dispatcher
         try:
             self._dispatch_ticks()
         except Exception:
@@ -673,7 +700,7 @@ class RouteService:
             )
         self._pending = []
 
-    def _dispatch_ticks(self) -> None:
+    def _dispatch_ticks(self) -> None:  # thread: dispatcher
         cfg = self.config
         while True:
             with self._lock:
@@ -819,7 +846,7 @@ class RouteService:
 
             time.sleep(0.002)
 
-    def _account_cache_replay(self, dispatch: _Dispatch, cached: RouteResponse) -> None:
+    def _account_cache_replay(self, dispatch: _Dispatch, cached: RouteResponse) -> None:  # thread: dispatcher
         response = cached.replayed(dispatch.request.request_id)
         dispatch.resolved = True
         dispatch.terminal = response

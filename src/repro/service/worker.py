@@ -32,6 +32,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
 
 from ..exact.errors import InfeasibleRoute, SearchBudgetExceeded
 from ..models.request import MulticastRequest
@@ -46,7 +51,7 @@ __all__ = ["compute_route", "worker_main"]
 _STALL_S = 600.0
 
 
-def _parse_topology(spec: str):
+def _parse_topology(spec: str) -> Any:
     """Topology-spec parsing shared with the CLI, with plain
     ``ValueError`` semantics (no argparse error types on this path)."""
     import argparse
@@ -60,8 +65,8 @@ def _parse_topology(spec: str):
 
 
 def compute_route(
-    topology_cache: dict, job: dict
-) -> tuple[bool, dict]:
+    topology_cache: dict[str, Any], job: Mapping[str, Any]
+) -> tuple[bool, dict[str, Any]]:
     """Answer one job: ``(True, route summary)`` or ``(False, {error,
     detail})`` with a typed error code — exceptions never escape as
     tracebacks.
@@ -92,7 +97,7 @@ def compute_route(
                 f"(result model: {spec.result_model})",
             }
         request = MulticastRequest(topology, job["source"], tuple(job["destinations"]))
-        kwargs = {}
+        kwargs: dict[str, Any] = {}
         if job.get("budget") is not None and "budget" in spec.tunables:
             kwargs["budget"] = job["budget"]
         route = spec.fn(request, **kwargs)
@@ -115,7 +120,7 @@ def compute_route(
         }
 
 
-def worker_main(conn, heartbeat_interval: float = 0.05) -> None:
+def worker_main(conn: Connection, heartbeat_interval: float = 0.05) -> None:
     """The child-process loop: heartbeat thread + recv/compute/send.
 
     Exits cleanly on a ``None`` job (shutdown) or a closed pipe; every
@@ -140,7 +145,7 @@ def worker_main(conn, heartbeat_interval: float = 0.05) -> None:
 
     threading.Thread(target=beat, daemon=True).start()
 
-    topology_cache: dict = {}
+    topology_cache: dict[str, Any] = {}
     try:
         while True:
             try:

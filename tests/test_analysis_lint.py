@@ -25,6 +25,9 @@ def test_rules_are_registered():
     ids = [r.id for r in rules()]
     assert ids == sorted(ids)
     assert {
+        "dispatcher-ownership",
+        "guarded-mutation",
+        "lock-discipline",
         "no-bare-except",
         "no-legacy-environment",
         "no-registry-bypass",
@@ -74,6 +77,34 @@ def test_no_unseeded_rng_allows_seeded(tmp_path):
     assert findings == []
 
 
+def test_no_unseeded_rng_flags_random_class_alias(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "from random import Random\nr = Random()\n",
+        select=["no-unseeded-rng"],
+    )
+    assert len(findings) == 1
+    assert "without a seed" in findings[0].message
+    seeded = _lint_source(
+        tmp_path,
+        "from random import Random\nr = Random(7)\n",
+        select=["no-unseeded-rng"],
+    )
+    assert seeded == []
+
+
+def test_no_unseeded_rng_covers_benchmarks_and_chaos(tmp_path):
+    """The rule's blind spots from the issue: benchmarks/ and the
+    service chaos module are scanned and come back clean (chaos is
+    seeded by construction; benchmark seeding is threaded)."""
+    repo = SRC.parent.parent
+    findings = lint_paths(
+        [repo / "benchmarks", SRC / "service" / "chaos.py"],
+        select=["no-unseeded-rng"],
+    )
+    assert findings == []
+
+
 def test_no_legacy_environment_fires(tmp_path):
     findings = _lint_source(
         tmp_path,
@@ -91,6 +122,105 @@ def test_no_bare_except_fires(tmp_path):
     )
     assert len(findings) == 1
     assert findings[0].rule == "no-bare-except"
+
+
+_OWNED_CLASS = """\
+class Service:
+    def __init__(self):
+        self._pending = []  # owned-by: dispatcher
+
+    def _drain(self):  # thread: dispatcher
+        self._pending.clear()
+
+    def submit(self, item):
+        {body}
+"""
+
+
+def test_dispatcher_ownership_fires_on_untagged_mutation(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        _OWNED_CLASS.format(body="self._pending.append(item)"),
+        select=["dispatcher-ownership"],
+    )
+    assert len(findings) == 1
+    assert "dispatcher-owned self._pending" in findings[0].message
+
+
+def test_dispatcher_ownership_fires_on_cross_thread_call(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        _OWNED_CLASS.format(body="self._drain()"),
+        select=["dispatcher-ownership"],
+    )
+    assert len(findings) == 1
+    assert "calls dispatcher-thread method _drain" in findings[0].message
+
+
+def test_dispatcher_ownership_allows_reads_and_tagged_methods(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        _OWNED_CLASS.format(body="return len(self._pending)"),
+        select=["dispatcher-ownership"],
+    )
+    assert findings == []
+
+
+def test_lock_discipline_fires_on_threading_locks(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def bad(self):\n"
+        "        self._lock.acquire()\n"
+        "        self._lock.release()\n",
+        select=["lock-discipline"],
+    )
+    assert len(findings) == 2
+    assert all("with` block" in f.message for f in findings)
+
+
+def test_lock_discipline_ignores_simulated_channel_resources(tmp_path):
+    """Wormhole-channel acquire/release in the sim layer is domain
+    vocabulary, not threading — only receivers bound to a Lock
+    constructor are in scope."""
+    findings = _lint_source(
+        tmp_path,
+        "class Net:\n"
+        "    def reserve(self, ch):\n"
+        "        ch.acquire()\n"
+        "        self.channels[0].release()\n",
+        select=["lock-discipline"],
+    )
+    assert findings == []
+
+
+def test_guarded_mutation_fires_outside_lock(tmp_path):
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._seq = 0  # guarded-by: _lock\n"
+        "    def good(self):\n"
+        "        with self._lock:\n"
+        "            self._seq += 1\n"
+        "    def bad(self):\n"
+        "        self._seq += 1\n"
+    )
+    findings = _lint_source(tmp_path, src, select=["guarded-mutation"])
+    assert len(findings) == 1
+    assert "S.bad mutates self._seq outside `with self._lock`" in findings[0].message
+
+
+def test_ownership_rules_pass_on_the_service_package():
+    findings = lint_paths(
+        [SRC / "service"],
+        select=["dispatcher-ownership", "guarded-mutation", "lock-discipline"],
+    )
+    assert findings == []
 
 
 def test_suppression_comment(tmp_path):

@@ -61,6 +61,38 @@ class TestUnknownScheme:
         assert "invalid choice: 'nope'" in capsys.readouterr().err
 
 
+class TestModelcheckOnly:
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["modelcheck", "--only", "nope", "--out", ""]) == 2
+        assert "unknown machine 'nope'" in _one_line_error(capsys)
+
+    def test_known_machine_exits_0(self, tmp_path, capsys):
+        out = str(tmp_path / "certs")
+        assert main(["modelcheck", "--only", "circuit-breaker", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "circuit-breaker" in stdout
+        assert "1 machines verified, 0 violations" in stdout
+
+    def test_only_is_repeatable(self, capsys):
+        assert (
+            main(["modelcheck", "--only", "circuit-breaker",
+                  "--only", "worker-heartbeat", "--out", ""])
+            == 0
+        )
+        assert "2 machines verified" in capsys.readouterr().out
+
+
+class TestCertifyOnly:
+    def test_unknown_scheme_exits_2(self, capsys):
+        assert main(["certify", "--only", "nope"]) == 2
+        assert "nope" in _one_line_error(capsys)
+
+    def test_only_aliases_scheme(self, tmp_path, capsys):
+        out = str(tmp_path / "certs")
+        assert main(["certify", "--only", "dual-path", "--out", out]) == 0
+        assert "dual-path" in capsys.readouterr().out
+
+
 class TestServeConfig:
     def test_invalid_worker_count(self, tmp_path, capsys):
         sock = str(tmp_path / "svc.sock")

@@ -1,0 +1,77 @@
+"""Model/code conformance: the formal machines must track the service.
+
+The binding direction (every transition's ``methods`` resolve under
+``repro.service``) and the coverage direction (every protocol method is
+abstracted by at least one transition) both fail loudly here — and in
+``python -m repro modelcheck`` — when the supervisor and the model
+drift apart.
+"""
+
+from repro.analysis.model import Machine, Transition, build_machines, check_conformance
+from repro.analysis.model.conformance import (
+    PROTOCOL_METHODS,
+    binding_failures,
+    coverage_failures,
+    resolve_binding,
+)
+
+import pytest
+
+
+def test_every_protocol_method_resolves():
+    for method in sorted(PROTOCOL_METHODS):
+        assert resolve_binding(method) is not None, method
+
+
+def test_resolve_binding_rejects_ghosts():
+    with pytest.raises(AttributeError):
+        resolve_binding("supervisor.RouteService._no_such_method")
+
+
+def test_production_models_conform():
+    assert check_conformance(build_machines()) == []
+
+
+def test_binding_drift_is_detected():
+    """Renaming a supervisor method out from under the model fails."""
+    ghost = Machine(
+        name="ghost",
+        fields=("x",),
+        initial={"x": 0},
+        transitions=(
+            Transition(
+                "step",
+                ("supervisor.RouteService._renamed_away",),
+                lambda v: False,
+                lambda v: v,
+            ),
+        ),
+        safety=(),
+        liveness="trivial",
+        goal=lambda v: True,
+    )
+    failures = binding_failures([ghost])
+    assert len(failures) == 1
+    assert "_renamed_away" in failures[0]
+
+
+def test_coverage_drift_is_detected():
+    """A machine set that abstracts nothing leaves every protocol
+    method uncovered — new supervisor surface cannot hide."""
+    failures = coverage_failures([])
+    assert len(failures) == len(PROTOCOL_METHODS)
+    assert all("not covered by any model transition" in f for f in failures)
+
+
+def test_coverage_is_exact_not_superset():
+    """Every method the models claim to abstract is either protocol
+    surface or at least resolves — no stale bindings accumulate."""
+    claimed = {
+        method
+        for machine in build_machines()
+        for transition in machine.transitions
+        for method in transition.methods
+    }
+    assert PROTOCOL_METHODS <= claimed
+    for method in sorted(claimed - PROTOCOL_METHODS):
+        assert resolve_binding(method) is not None, method

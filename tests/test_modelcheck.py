@@ -1,0 +1,301 @@
+"""The explicit-state model checker and the service protocol models.
+
+Three layers of coverage:
+
+* the BFS kernel on small hand-built machines (determinism, shortest
+  safety counterexamples, deadlock detection, liveness lassos);
+* the three production machines, which must verify clean and agree
+  with the certificates committed under
+  ``analysis/certificates/service/`` (model drift fails here before it
+  fails the CI ``git diff`` gate);
+* the bug-injection variants, whose *minimized* counterexample traces
+  are pinned against goldens — the checker must find each seeded bug
+  and must report it via a shortest witness.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.model import (
+    MACHINES,
+    Machine,
+    ModelCertificate,
+    SafetyProperty,
+    Transition,
+    UnknownMachineError,
+    build_machines,
+    check_machine,
+    circuit_breaker_machine,
+    load_certificate,
+    modelcheck_all,
+    request_lifecycle_machine,
+    worker_heartbeat_machine,
+)
+from repro.analysis.model.checker import StateSpaceError, canonical_state
+
+CERT_DIR = Path(__file__).parent.parent / "analysis" / "certificates" / "service"
+
+
+def _counter_machine(limit=3, safety_cap=None):
+    """0..limit counter; optional invariant ``counter < safety_cap``."""
+    safety = ()
+    if safety_cap is not None:
+        safety = (
+            SafetyProperty(
+                "under-cap", lambda v, c=safety_cap: v["counter"] < c
+            ),
+        )
+    return Machine(
+        name="toy-counter",
+        fields=("counter",),
+        initial={"counter": 0},
+        transitions=(
+            Transition(
+                "inc",
+                (),
+                lambda v: v["counter"] < limit,
+                lambda v: {"counter": v["counter"] + 1},
+            ),
+            Transition(
+                "reset",
+                (),
+                lambda v: v["counter"] == limit,
+                lambda v: {"counter": 0},
+            ),
+        ),
+        safety=safety,
+        liveness="eventually-zero",
+        goal=lambda v: v["counter"] == 0,
+    )
+
+
+def _walk_machine():
+    """a -> b <-> c, goal d unreachable: a liveness lasso."""
+    def go(src, dst):
+        return Transition(
+            f"{src}_to_{dst}",
+            (),
+            lambda v, s=src: v["loc"] == s,
+            lambda v, d=dst: {"loc": d},
+        )
+
+    return Machine(
+        name="toy-walk",
+        fields=("loc",),
+        initial={"loc": "a"},
+        transitions=(go("a", "b"), go("b", "c"), go("c", "b")),
+        safety=(),
+        liveness="eventually-d",
+        goal=lambda v: v["loc"] == "d",
+    )
+
+
+class TestKernel:
+    def test_exhaustive_counts_and_determinism(self):
+        machine = _counter_machine(limit=3)
+        first = check_machine(machine)
+        second = check_machine(machine)
+        assert first.states == 4
+        assert first.edges == 4  # three incs + the reset back to 0
+        assert first.ok and first.deadlock_free
+        assert first.relation_digest == second.relation_digest
+        assert len(first.relation_digest) == 64
+
+    def test_shortest_safety_counterexample(self):
+        result = check_machine(_counter_machine(limit=5, safety_cap=3))
+        [violation] = [v for v in result.violations if v.kind == "safety"]
+        assert violation.property == "under-cap"
+        assert violation.trace == ("inc", "inc", "inc")
+        assert violation.state == {"counter": 3}
+        assert not result.ok
+
+    def test_deadlock_detection(self):
+        machine = Machine(
+            name="toy-sink",
+            fields=("loc",),
+            initial={"loc": "a"},
+            transitions=(
+                Transition(
+                    "go_b",
+                    (),
+                    lambda v: v["loc"] == "a",
+                    lambda v: {"loc": "b"},
+                ),
+            ),
+            safety=(),
+            liveness="eventually-c",
+            goal=lambda v: v["loc"] == "c",
+        )
+        result = check_machine(machine)
+        assert not result.deadlock_free
+        [violation] = result.violations
+        assert violation.kind == "deadlock"
+        assert violation.trace == ("go_b",)
+        assert violation.state == {"loc": "b"}
+
+    def test_liveness_lasso_is_minimized(self):
+        result = check_machine(_walk_machine())
+        [violation] = result.violations
+        assert violation.kind == "liveness"
+        assert violation.property == "eventually-d"
+        assert violation.trace == ("a_to_b",)
+        assert violation.cycle == ("b_to_c", "c_to_b")
+        assert "looping" in str(violation)
+
+    def test_nondeterministic_transitions_fan_out(self):
+        machine = Machine(
+            name="toy-fork",
+            fields=("loc",),
+            initial={"loc": "a"},
+            transitions=(
+                Transition(
+                    "fork",
+                    (),
+                    lambda v: v["loc"] == "a",
+                    lambda v: [{"loc": "b"}, {"loc": "c"}],
+                ),
+                Transition(
+                    "home",
+                    (),
+                    lambda v: v["loc"] in ("b", "c"),
+                    lambda v: {"loc": "a"},
+                ),
+            ),
+            safety=(),
+            liveness="eventually-a",
+            goal=lambda v: v["loc"] == "a",
+        )
+        result = check_machine(machine)
+        assert result.states == 3
+        assert result.edges == 4
+        assert result.ok
+
+    def test_state_space_bound_is_enforced(self):
+        with pytest.raises(StateSpaceError):
+            check_machine(_counter_machine(limit=100), max_states=10)
+
+    def test_canonical_state_is_sorted_json(self):
+        machine = _counter_machine()
+        state = machine.pack({"counter": 2})
+        assert canonical_state(machine, state) == '{"counter":2}'
+
+
+class TestProductionMachines:
+    @pytest.mark.parametrize("name", sorted(MACHINES))
+    def test_verifies_clean(self, name):
+        result = check_machine(MACHINES[name]())
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.deadlock_free
+        assert result.states > 0
+
+    @pytest.mark.parametrize("name", sorted(MACHINES))
+    def test_matches_committed_certificate(self, name):
+        """Model drift check: re-verification must reproduce the
+        committed artifact exactly (CI re-checks via ``git diff``)."""
+        committed = load_certificate(CERT_DIR / f"{name}.json")
+        live = check_machine(MACHINES[name]()).certificate()
+        assert live == committed
+
+    def test_build_machines_filter_and_unknown(self):
+        [machine] = build_machines(["circuit-breaker"])
+        assert machine.name == "circuit-breaker"
+        with pytest.raises(UnknownMachineError, match="unknown machine 'nope'"):
+            build_machines(["nope"])
+
+    def test_modelcheck_all_clean(self, tmp_path):
+        results, failures = modelcheck_all(out_dir=tmp_path)
+        assert failures == []
+        assert sorted(r.machine.name for r in results) == sorted(MACHINES)
+        assert all(r.ok for r in results)
+        written = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert written == sorted(f"{name}.json" for name in MACHINES)
+
+    def test_modelcheck_all_only_filter_keeps_full_conformance(self):
+        results, failures = modelcheck_all(only=["worker-heartbeat"], out_dir=None)
+        assert failures == []
+        assert [r.machine.name for r in results] == ["worker-heartbeat"]
+
+
+def _traces(machine):
+    result = check_machine(machine)
+    assert not result.ok
+    return {v.property: v.trace for v in result.violations}
+
+
+class TestSeededBugs:
+    """Each injected model bug must surface as a *shortest* witness."""
+
+    def test_broken_breaker_minimized_golden_trace(self):
+        traces = _traces(circuit_breaker_machine(threshold=2, bug="off-by-one"))
+        assert traces["closed-implies-under-threshold"] == (
+            "record_failure",
+            "record_failure",
+        )
+        assert traces["failures-within-threshold"] == (
+            "record_failure",
+            "record_failure",
+            "record_failure",
+        )
+
+    def test_double_resolve_breaks_exactly_one_terminal(self):
+        traces = _traces(request_lifecycle_machine(bug="double-resolve"))
+        assert traces["exactly-one-terminal"] == (
+            "admit",
+            "deadline_expire",
+            "deadline_expire",
+        )
+
+    def test_cache_degraded_poisons_the_cache(self):
+        traces = _traces(request_lifecycle_machine(bug="cache-degraded"))
+        assert traces["never-cache-degraded"] == (
+            "admit",
+            "dispatch",
+            "budget_fallback",
+            "dispatch",
+            "complete_ok",
+        )
+
+    def test_requeue_forever_breaks_retry_budget(self):
+        traces = _traces(request_lifecycle_machine(bug="requeue-forever"))
+        assert traces["requeue-at-most-once"] == (
+            "admit",
+            "dispatch",
+            "worker_crash",
+            "dispatch",
+            "worker_crash",
+        )
+
+    def test_leaky_pipe_misroutes_stale_replies(self):
+        traces = _traces(worker_heartbeat_machine(bug="leaky-pipe"))
+        assert traces["stale-reply-only-while-dead"] == (
+            "assign_job",
+            "worker_crash",
+            "detect_death",
+        )
+        assert traces["no-misrouted-reply"] == (
+            "assign_job",
+            "worker_crash",
+            "detect_death",
+            "deliver_stale_reply",
+        )
+
+
+class TestCertificates:
+    def test_round_trip(self, tmp_path):
+        result = check_machine(MACHINES["circuit-breaker"]())
+        cert = result.certificate()
+        path = cert.write(tmp_path)
+        assert path.name == "circuit-breaker.json"
+        loaded = load_certificate(path)
+        assert loaded == cert
+        assert isinstance(loaded, ModelCertificate)
+        assert loaded.deadlock_free
+        assert loaded.relation_digest == result.relation_digest
+
+    def test_schema_and_kind_are_stamped(self):
+        cert = check_machine(MACHINES["worker-heartbeat"]()).certificate()
+        data = cert.to_json()
+        assert data["schema"] == "repro.analysis/modelcheck.v1"
+        assert data["kind"] == "modelcheck-certificate"
+        assert data["machine"] == "worker-heartbeat"
