@@ -682,9 +682,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the replication sweep "
                         "(default: all cores; used when --replications > 1)")
-    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
-                   help="simulation core: the coroutine reference model or the "
-                        "vectorized structure-of-arrays engine (identical results)")
+    p.add_argument("--engine", choices=["reference", "dense", "auto"], default="reference",
+                   help="simulation core: the coroutine reference model, the "
+                        "vectorized structure-of-arrays engine (identical "
+                        "results), or auto (picked per run from workload "
+                        "features, recorded in the result)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("faults", help="fault-injection degradation study")
@@ -717,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip replications already in --checkpoint")
     p.add_argument("--output", default=None, help="write the sweep as JSON")
-    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
+    p.add_argument("--engine", choices=["reference", "dense", "auto"], default="reference",
                    help="simulation core for every replication")
     p.set_defaults(func=cmd_faults)
 
@@ -729,8 +731,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interarrival-us", type=float, default=300.0)
     p.add_argument("--unicast-fraction", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--engine", choices=["reference", "dense"], default="reference",
-                   help="simulation core (reference coroutines or dense SoA)")
+    p.add_argument("--engine", choices=["reference", "dense", "auto"], default="reference",
+                   help="simulation core (reference coroutines, dense SoA, "
+                        "or auto selection)")
     p.set_defaults(func=cmd_mixed)
 
     p = sub.add_parser("reproduce", help="regenerate one dissertation figure")

@@ -170,7 +170,10 @@ class SweepJob:
     driver: ``"dynamic"`` (:func:`repro.sim.runner.run_dynamic`) or
     ``"resilient"`` (:func:`repro.sim.runner.run_resilient`, fault
     injection + retry); ``engine`` the simulation core (``"reference"``
-    coroutine kernel or the vectorized ``"dense"`` engine)."""
+    coroutine kernel, the vectorized ``"dense"`` engine, or ``"auto"``
+    to let each worker pick per job from its workload features —
+    the decision lands in ``result.engine_stats["auto"]`` and in the
+    checkpoint key, so resumes distinguish engines)."""
 
     topology: Topology
     scheme: str

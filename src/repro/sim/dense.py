@@ -47,7 +47,7 @@ ordered scalar path.
 from __future__ import annotations
 
 import heapq
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -72,6 +72,18 @@ _BFIN = 8    # (kind, ws): vectorized finish chunk
 _ARR = 9     # (kind, w): path worm starts its arrival drain (tick-vector mode)
 
 
+def _ragged(starts, counts):
+    """Expand ragged per-row ranges ``[starts[i], starts[i]+counts[i])``
+    into flat ``(row, value)`` arrays."""
+    tot = int(counts.sum())
+    if tot == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e
+    rep = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    cum = np.cumsum(counts) - counts
+    return rep, np.arange(tot, dtype=np.int64) - cum[rep] + starts[rep]
+
+
 @dataclass
 class EngineCounters:
     """Dense-engine progress counters (a ``cache_stats()``-style API:
@@ -88,8 +100,26 @@ class EngineCounters:
     #: widest single vectorized pass (the high-water chunk width)
     max_batch_width: int = 0
     #: chunked events diverted to the ordered scalar path because two
-    #: worms touched the same channel in the same tick
+    #: worms touched the same channel in the same tick (classic-mode
+    #: chunks only; tick-vector rounds resolve convoys in-place)
     scalar_fallback_events: int = 0
+    #: vectorized dispatch rounds executed (tick-vector mode)
+    rounds: int = 0
+    #: NumPy array-op dispatches issued by the vector core (counted per
+    #: code path, so ``array_ops / rounds`` is the measured per-round
+    #: dispatch floor)
+    array_ops: int = 0
+    #: events settled by the ordered convoy resolver (same-round
+    #: channel interactions that previously fell back to scalar kernels)
+    resolver_events: int = 0
+    #: rounds that engaged the convoy resolver
+    resolver_rounds: int = 0
+    #: multi-tick frontier windows committed
+    windows: int = 0
+    #: frontier windows abandoned to per-tick dispatch mid-validation
+    window_aborts: int = 0
+    #: committed frontier-window widths (ticks merged -> count)
+    window_hist: dict = field(default_factory=dict)
     #: most worms simultaneously in flight
     max_active_worms: int = 0
     #: total worms injected
@@ -155,9 +185,9 @@ class DenseEngine:
 
     #: chunks narrower than this advance through the scalar path (the
     #: per-pass NumPy overhead outweighs the loop below it)
-    BATCH_MIN = 16
+    BATCH_MIN = 96
     #: routes at least this long use the vectorized edge-LUT interner
-    LUT_MIN_HOPS = 64
+    LUT_MIN_HOPS = 8
     #: node-id width of the edge LUT (nodes must fit in LUT_BITS bits)
     LUT_BITS = 11
 
@@ -190,6 +220,14 @@ class DenseEngine:
         self.buckets: dict[int, list] = {}
         self.tick_heap: list[int] = []
         self._pending: list = []
+
+        # multi-tick frontier batching (tick-vector mode): adaptive
+        # window width, consecutive-abort count and attempt cooldown
+        # (exponential under sustained contention)
+        self._win_k = 8
+        self._win_bad = 0
+        self._win_cool = 0
+        self._win_cool_len = 16
 
         # channels (SoA over interned ids)
         n = 256
@@ -224,10 +262,11 @@ class DenseEngine:
         self._route_cache: dict = {}
         #: lazily-filled (u << LUT_BITS | v) -> channel-id table, built
         #: the first time a long route over small-int nodes is injected
-        #: (-1 = not interned yet); one capacity value only
-        self._edge_lut = None
-        self._lut_cap: int | None = None
+        #: (-1 = not interned yet); one table per (capacity, route key)
+        self._edge_luts: dict = {}
         self._dest_scratch = None
+        #: node label -> dense small int for the edge LUTs
+        self._node_ids: dict = {}
 
         # ragged per-worm state (scalar kernels)
         self.ad: dict[int, _AdaptiveState] = {}
@@ -367,41 +406,62 @@ class DenseEngine:
             )
         return cid
 
-    def _intern_route(self, nodes, destinations, off: int, n: int, cap: int) -> bool:
-        """Vectorized route interning for long paths over small-int
-        nodes: channel ids come from one gather on a lazily-filled
-        ``(u << LUT_BITS) | v`` table, delivery flags from a scratch
-        membership array.  Returns False when the nodes don't qualify
-        (non-int, out of range, or a second capacity value) and the
-        caller must fall back to the per-hop loop."""
-        arr = np.asarray(nodes)
-        if arr.ndim != 1 or arr.dtype.kind not in "iu":
-            return False
+    def _intern_route(
+        self,
+        nodes,
+        destinations,
+        off: int,
+        n: int,
+        cap: int,
+        channel_key=None,
+        lut_key=None,
+    ) -> bool:
+        """Vectorized route interning for long paths: node labels of
+        any hashable kind intern to dense small ints, channel ids come
+        from one gather on a lazily-filled ``(u << LUT_BITS) | v``
+        table (one per (capacity, route-key) pair), delivery flags
+        from a scratch membership array.  Returns False when the
+        engine has seen more distinct nodes than a table covers and
+        the caller must fall back to the per-hop loop."""
+        lut = self._edge_luts.get((cap, lut_key))
+        if lut is None:
+            lut = self._edge_luts[(cap, lut_key)] = np.full(
+                1 << (2 * self.LUT_BITS), -1, dtype=np.int32
+            )
+            if self._dest_scratch is None:
+                self._dest_scratch = np.zeros(1 << self.LUT_BITS, dtype=bool)
+        nid = self._node_ids
+        try:
+            arr = np.fromiter(
+                map(nid.__getitem__, nodes), dtype=np.int64, count=n + 1
+            )
+        except KeyError:
+            lim = 1 << self.LUT_BITS
+            for x in nodes:
+                if x not in nid:
+                    if len(nid) >= lim:
+                        return False
+                    nid[x] = len(nid)
+            arr = np.fromiter(
+                map(nid.__getitem__, nodes), dtype=np.int64, count=n + 1
+            )
         u = arr[:-1]
         v = arr[1:]
-        if self._edge_lut is None:
-            if int(arr.min()) < 0 or int(arr.max()) >= (1 << self.LUT_BITS):
-                return False
-            self._edge_lut = np.full(1 << (2 * self.LUT_BITS), -1, dtype=np.int32)
-            self._lut_cap = cap
-            self._dest_scratch = np.zeros(1 << self.LUT_BITS, dtype=bool)
-        elif (
-            cap != self._lut_cap
-            or int(arr.min()) < 0
-            or int(arr.max()) >= (1 << self.LUT_BITS)
-        ):
-            return False
-        lut = self._edge_lut
-        keys = (u.astype(np.int64) << self.LUT_BITS) | v
+        keys = (u << self.LUT_BITS) | v
         cids = lut[keys]
         miss = cids < 0
         if miss.any():
             for i in np.flatnonzero(miss):
-                lut[keys[i]] = self._chan((int(u[i]), int(v[i])), cap)
+                pair = (
+                    (nodes[i], nodes[i + 1])
+                    if channel_key is None
+                    else channel_key(nodes[i], nodes[i + 1])
+                )
+                lut[keys[i]] = self._chan(pair, cap)
             cids = lut[keys]
         self.rp_chan[off : off + n] = cids
         scratch = self._dest_scratch
-        dl = list(destinations)
+        dl = [nid[d] for d in destinations if d in nid]
         scratch[dl] = True
         self.rp_dest[off : off + n] = scratch[v]
         scratch[dl] = False
@@ -539,6 +599,7 @@ class DenseEngine:
         channel_key=None,
         capacity: int | None = None,
         flits: int | None = None,
+        route_key=None,
     ) -> int:
         cap = capacity or self.config.channels_per_link
         n = len(nodes) - 1
@@ -574,6 +635,37 @@ class DenseEngine:
                     for i in range(n):
                         rp_chan[off + i] = self._chan(
                             (nodes[i], nodes[i + 1]), cap
+                        )
+                        rp_dest[off + i] = nodes[i + 1] in destinations
+                self._route_cache[ck] = (
+                    rp_chan[off : off + n].copy(),
+                    rp_dest[off : off + n].copy(),
+                )
+            else:
+                rp_chan[off : off + n] = hit[0]
+                rp_dest[off : off + n] = hit[1]
+            self.rp_head.extend(nodes[1:])
+        elif route_key is not None:
+            # keyed routes (virtual-channel planes): ``route_key``
+            # plus (nodes, destinations, capacity) pins every channel
+            # identity, so these memoize exactly like plain routes
+            ck = (
+                nodes if type(nodes) is tuple else tuple(nodes),
+                frozenset(destinations),
+                cap,
+                route_key,
+            )
+            hit = self._route_cache.get(ck)
+            if hit is None:
+                if n >= self.LUT_MIN_HOPS and self._intern_route(
+                    nodes, destinations, off, n, cap,
+                    channel_key=channel_key, lut_key=route_key,
+                ):
+                    pass
+                else:
+                    for i in range(n):
+                        rp_chan[off + i] = self._chan(
+                            channel_key(nodes[i], nodes[i + 1]), cap
                         )
                         rp_dest[off + i] = nodes[i + 1] in destinations
                 self._route_cache[ck] = (
@@ -1089,6 +1181,15 @@ class DenseEngine:
             self._pending = pending
             c.ticks += 1
             if tickvec:
+                # multi-tick frontier batching: a window of upcoming
+                # ticks may be provably interaction-free (no touched
+                # channel has waiters, every acquire fits) and drain in
+                # one vectorized commit
+                if not self._win_cool:
+                    if self._run_window(t, pending):
+                        continue
+                else:
+                    self._win_cool -= 1
                 self._run_tick_vec(pending)
             else:
                 self._run_classic(pending, 0)
@@ -1150,6 +1251,365 @@ class DenseEngine:
                 c.events += 1
             else:  # _DEFER: join the end of the immediate lane
                 pending.append((_CALL, e[1], e[2]))
+
+    # ------------------------------------------------------------------
+    # Multi-tick frontier batching (tick-vector mode).
+    # ------------------------------------------------------------------
+    #
+    # An unblocked path worm's trajectory is a straight line: a worm at
+    # cursor i0 when tick t starts acquires route position p at tick
+    # t + (p - i0), releases it (delivering if flagged) at
+    # t + (p - i0) + F, arrives at a = t + (L - i0) and finishes at
+    # a + F - 1 — provided no acquire ever blocks.  A window [t, E) is
+    # *sound* when (1) no touched channel has a waiter queue (blocked
+    # worms elsewhere cannot interact: their wake would need a release
+    # on their own channel, which is untouched), (2) no channel is
+    # touched twice at the same tick and (3) a segmented occupancy scan
+    # proves every windowed acquire fits under its channel's capacity
+    # given every windowed release.  A sound window admits no block,
+    # wake or queue-jump, so all K ticks commit in one fixed set of
+    # array ops;
+    # the delivery stream is replayed in exact reference order from a
+    # closed-form sort key (see _run_window).  Any foreign calendar
+    # entry (injection, deferred call, non-path worm) clips the window,
+    # and a failed proof falls back to one-tick dispatch, so parity is
+    # preserved unconditionally.
+
+    #: frontier windows never merge more than this many ticks
+    WIN_MAX = 512
+
+    def _run_window(self, t: int, pending: list) -> bool:
+        """Try to drain every event in ``[t, t + win_k)`` in one
+        vectorized commit.  Returns False — with no state mutated —
+        when the window cannot be proven sound; the caller then runs
+        tick ``t`` through the ordinary one-tick dispatch."""
+        c = self.counters
+        heap = self.tick_heap
+        buckets = self.buckets
+        E = t + self._win_k
+        # -- phase 1: scan tick t itself, before touching the heap —
+        # a foreign entry (injection, deferred call, non-path worm)
+        # here is the common bail and must stay cheap (code 3 =
+        # pre-scheduled finish)
+        ow: list[int] = []
+        ocode: list[int] = []
+        oarg: list[int] = []
+        for e in pending:
+            if type(e) is list:
+                ow.extend(e)
+                k = len(e)
+                ocode.extend([0] * k)
+                oarg.extend([-1] * k)
+                continue
+            k = e[0]
+            if k == _REL:
+                ow.append(e[1])
+                ocode.append(1)
+                oarg.append(e[2])
+            elif k == _ARR:
+                ow.append(e[1])
+                ocode.append(2)
+                oarg.append(-1)
+            elif k == _FIN:
+                ow.append(e[1])
+                ocode.append(3)
+                oarg.append(-1)
+            else:
+                return False
+        # -- phase 2: collect the window's pre-scheduled buckets; any
+        # entry besides an arrival drain (_REL/_FIN) clips the window
+        taken: list = []
+        while heap and heap[0] < E:
+            tk = heap[0]
+            b = buckets[tk]
+            ok = True
+            for e in b:
+                k = e[0] if type(e) is tuple else -1
+                if k != _REL and k != _FIN:
+                    ok = False
+                    break
+            if not ok:
+                E = tk
+                break
+            heapq.heappop(heap)
+            del buckets[tk]
+            taken.append((tk, b))
+        if E - t < 2:
+            for tk, b in taken:
+                heapq.heappush(heap, tk)
+                buckets[tk] = b
+            return False
+        wv = np.array(ow, dtype=np.int64)
+        code = np.array(ocode, dtype=np.int8)
+        arg = np.array(oarg, dtype=np.int64)
+        mrows = np.flatnonzero((code == 0) | (code == 2))
+        mw = wv[mrows]
+        i0 = self.w_idx[mw]
+        off = self.w_off[mw]
+        L = self.w_len[mw]
+        F = self.w_flits[mw]
+        arr = t + L - i0
+        fin = arr + F - 1
+        # pre-scheduled drains: tick-t release rows + collected buckets
+        rel_rows = np.flatnonzero(code == 1)
+        pos_b = self.w_off[wv[rel_rows]] + arg[rel_rows]
+        ch_b = self.rp_chan[pos_b]
+        n_fin0 = int(np.count_nonzero(code == 3))
+        pre_w: list[int] = []
+        pre_p: list[int] = []
+        pre_tk: list[int] = []
+        pre_ix: list[int] = []
+        fin_tk: list[int] = []
+        for tk, b in taken:
+            j = 0
+            for e in b:
+                if e[0] == _REL:
+                    pre_w.append(e[1])
+                    pre_p.append(e[2])
+                    pre_tk.append(tk)
+                    pre_ix.append(j)
+                    j += 1
+                else:
+                    fin_tk.append(tk)
+        pw_full = np.array(pre_w, dtype=np.int64)
+        pos_p_full = self.w_off[pw_full] + np.array(pre_p, dtype=np.int64)
+        ch_p_full = self.rp_chan[pos_p_full]
+        tk_p_full = np.array(pre_tk, dtype=np.int64)
+        pre_ix_full = np.array(pre_ix, dtype=np.int64)
+        fin_tka = np.array(fin_tk, dtype=np.int64)
+        # -- phase 3: soundness proof, clipping to the sound prefix.
+        # Per-channel event trajectories ordered by tick: any touch of
+        # a waiter channel or any acquire the segmented occupancy scan
+        # cannot fit shrinks the window to end just before the first
+        # conflicting tick, and the smaller window is re-proven.
+        while True:
+            K_eff = E - t
+            # windowed trajectory slices (route positions p)
+            a_hi = np.minimum(L, i0 + K_eff)
+            r_lo = np.maximum(0, i0 - F)
+            r_hi = np.maximum(r_lo, np.minimum(L, i0 + K_eff - F))
+            rep_a, p_a = _ragged(i0, a_hi - i0)
+            rep_r, p_r = _ragged(r_lo, r_hi - r_lo)
+            ch_a = self.rp_chan[off[rep_a] + p_a]
+            tk_a = t + p_a - i0[rep_a]
+            pos_r = off[rep_r] + p_r
+            ch_r = self.rp_chan[pos_r]
+            tk_r = t + p_r + F[rep_r] - i0[rep_r]
+            psel = tk_p_full < E
+            pw = pw_full[psel]
+            pos_p = pos_p_full[psel]
+            ch_p = ch_p_full[psel]
+            tk_p = tk_p_full[psel]
+            pre_ixa = pre_ix_full[psel]
+            ch_all = np.concatenate([ch_a, ch_r, ch_b, ch_p])
+            if not ch_all.size:
+                break
+            tk_all = np.concatenate(
+                [tk_a, tk_r, np.full(ch_b.size, t, dtype=np.int64), tk_p]
+            )
+            t_bad = E
+            # waiters elsewhere are harmless, but a touched channel
+            # with a waiter queue could wake or queue-jump mid-window
+            if self._waiter_total:
+                wmask = self.has_waiters[ch_all]
+                if bool(np.any(wmask)):
+                    t_bad = int(tk_all[wmask].min())
+            ds = np.ones(ch_all.size, dtype=np.int64)
+            ds[ch_a.size:] = -1
+            # stable sort puts acquires before releases within a
+            # (channel, tick) tie: the occupancy scan then proves the
+            # worst-case intra-tick order fits, so the real bucket
+            # order (which can only release earlier) fits too and no
+            # acquire can block
+            o = np.lexsort((tk_all, ch_all))
+            chs = ch_all[o]
+            ds = ds[o]
+            same = chs[1:] == chs[:-1]
+            cs = np.cumsum(ds)
+            starts = np.flatnonzero(
+                np.concatenate([[True], ~same])
+            )
+            counts = np.diff(np.concatenate([starts, [chs.size]]))
+            base = np.repeat(cs[starts] - ds[starts], counts)
+            occ = cs - base + self.in_use[chs]
+            viol = (ds > 0) & (occ > self.cap[chs])
+            if bool(np.any(viol)):
+                t_bad = min(t_bad, int(tk_all[o][viol].min()))
+            if t_bad >= E:
+                break
+            c.array_ops += 30
+            if t_bad - t < 2:
+                for tk, b in taken:
+                    heapq.heappush(heap, tk)
+                    buckets[tk] = b
+                c.window_aborts += 1
+                self._win_k = max(2, self._win_k >> 1)
+                self._win_bad += 1
+                if self._win_bad >= 4:
+                    self._win_bad = 0
+                    self._win_cool = self._win_cool_len
+                    self._win_cool_len = min(1024, self._win_cool_len * 2)
+                return False
+            E = t_bad
+        # conflicting-suffix buckets go back on the calendar
+        if taken and taken[-1][0] >= E:
+            keep: list = []
+            for tk, b in taken:
+                if tk >= E:
+                    heapq.heappush(heap, tk)
+                    buckets[tk] = b
+                else:
+                    keep.append((tk, b))
+            taken = keep
+        n_pre_fin = n_fin0 + int(np.count_nonzero(fin_tka < E))
+        # -- phase 4: commit.  Channel occupancy moves by each
+        # channel's net windowed delta; cursors jump to the window end
+        if ch_all.size:
+            ends = starts + counts - 1
+            net = cs[ends] - (cs[starts] - ds[starts])
+            self.in_use[chs[starts]] += net.astype(np.int32)
+        if mrows.size:
+            self.w_idx[mw] = a_hi
+        nfin_w = int(np.count_nonzero(fin < E))
+        self.active_worms -= nfin_w + n_pre_fin
+        # deliveries, replayed in exact reference order.  Within one
+        # tick the bucket runs (a) drains appended by arrivals >= 2
+        # ticks back, ordered by (arrival tick, frontier row); then (b)
+        # the frontier walk in row order — step releases interleaved
+        # with day-1 drains of worms that arrived the tick before; then
+        # (c) the post-round pending drains of worms arriving this very
+        # tick, in row order.  The (tick, category, key1, key2) sort
+        # below reproduces that order in closed form.
+        dm_r = self.rp_dest[pos_r]
+        dm_b = self.rp_dest[pos_b]
+        dm_p = self.rp_dest[pos_p]
+        ndel = int(dm_r.sum()) + int(dm_b.sum()) + int(dm_p.sum())
+        if ndel:
+            fr = np.flatnonzero(dm_r)
+            arr_f = arr[rep_r[fr]]
+            tau_f = tk_r[fr]
+            row_f = mrows[rep_r[fr]]
+            cat_f = np.where(
+                tau_f >= arr_f + 2, 0, np.where(tau_f == arr_f, 2, 1)
+            )
+            drain = cat_f == 0
+            k1_f = np.where(drain, arr_f, row_f)
+            k2_f = np.where(drain, row_f, 0)
+            br = np.flatnonzero(dm_b)
+            pr_ = np.flatnonzero(dm_p)
+            tau = np.concatenate(
+                [tau_f, np.full(br.size, t, dtype=np.int64), tk_p[pr_]]
+            )
+            cat = np.concatenate(
+                [
+                    cat_f,
+                    np.ones(br.size, dtype=np.int64),
+                    np.full(pr_.size, -1, dtype=np.int64),
+                ]
+            )
+            k1 = np.concatenate(
+                [
+                    k1_f,
+                    rel_rows[br],
+                    pre_ixa[pr_],
+                ]
+            )
+            k2 = np.concatenate(
+                [k2_f, np.zeros(br.size + pr_.size, dtype=np.int64)]
+            )
+            dw = np.concatenate([mw[rep_r[fr]], wv[rel_rows[br]], pw[pr_]])
+            dpos = np.concatenate([pos_r[fr], pos_b[br], pos_p[pr_]])
+            so = np.lexsort((k2, k1, cat, tau))
+            mids = self.w_mid[dw[so]].tolist()
+            injs = self.w_inj[dw[so]].tolist()
+            poss = dpos[so].tolist()
+            taus = tau[so].tolist()
+            heads = self.rp_head
+            self.d_mid.extend(mids)
+            self.d_inj.extend(injs)
+            self.d_tick.extend(taus)
+            self.d_node.extend([heads[p] for p in poss])
+            c.deliveries += ndel
+        # residual events past the window end, appended in virtual
+        # execution order: first the drains of worms arriving by E-2
+        # (by arrival tick then row), then the bucket-E frontier walk —
+        # surviving movers as one chunk, split in row order by arrival
+        # markers and the day-1 drains of tick-(E-1) arrivals
+        transit = a_hi < L
+        resid = ~transit & (arr < E) & ((r_hi < L) | (fin >= E))
+        early = np.flatnonzero(resid & (arr <= E - 2))
+        if early.size:
+            eo = early[np.lexsort((early, arr[early]))]
+            for j in eo.tolist():
+                w = int(mw[j])
+                base_t = t + int(F[j]) - int(i0[j])
+                for p in range(int(r_hi[j]), int(L[j])):
+                    self._bucket(base_t + p).append((_REL, w, p))
+                if fin[j] >= E:
+                    self._bucket(int(fin[j])).append((_FIN, w))
+        late = resid & (arr == E - 1)
+        walk = np.flatnonzero(transit | (arr == E) | late)
+        if walk.size:
+            ent: list = []
+            cur: list = []
+            tr_l = transit.tolist()
+            arrE_l = (arr == E).tolist()
+            for j in walk.tolist():
+                w = int(mw[j])
+                if tr_l[j]:
+                    cur.append(w)
+                    continue
+                if cur:
+                    ent.append(cur)
+                    cur = []
+                if arrE_l[j]:
+                    ent.append((_ARR, w))
+                    continue
+                base_t = t + int(F[j]) - int(i0[j])
+                for p in range(int(r_hi[j]), int(L[j])):
+                    tkp = base_t + p
+                    if tkp == E:
+                        ent.append((_REL, w, p))
+                    else:
+                        self._bucket(tkp).append((_REL, w, p))
+                if fin[j] == E:
+                    ent.append((_FIN, w))
+                elif fin[j] > E:
+                    self._bucket(int(fin[j])).append((_FIN, w))
+            if cur:
+                ent.append(cur)
+            if ent:
+                self._bucket(E).extend(ent)
+        # the reference pops a bucket for every in-window event tick;
+        # land self.tick on the last of them so ``now`` stays exact
+        # even when the calendar runs dry inside the window
+        last = t
+        if tk_a.size:
+            last = max(last, int(tk_a.max()))
+        if tk_r.size:
+            last = max(last, int(tk_r.max()))
+        if tk_p.size:
+            last = max(last, int(tk_p.max()))
+        if mrows.size:
+            inwin = arr[arr < E]
+            if inwin.size:
+                last = max(last, int(inwin.max()))
+            finwin = fin[fin < E]
+            if finwin.size:
+                last = max(last, int(finwin.max()))
+        self.tick = last
+        c.ticks += last - t
+        c.windows += 1
+        c.window_hist[K_eff] = c.window_hist.get(K_eff, 0) + 1
+        c.array_ops += 46
+        nbatch = int(ch_all.size) + nfin_w + n_pre_fin
+        c.batched_events += nbatch
+        if nbatch > c.max_batch_width:
+            c.max_batch_width = nbatch
+        self._win_bad = 0
+        self._win_k = min(self.WIN_MAX, self._win_k * 2)
+        self._win_cool_len = 16
+        return True
 
     # ------------------------------------------------------------------
     # Tick-vector dispatch (path-worm-only runs).
@@ -1264,6 +1724,8 @@ class DenseEngine:
                 self._bucket(dtk).append(dent)
             c.events += n_ops
             return
+        c.rounds += 1
+        c.array_ops += 18
         wv = np.array(ow, dtype=np.int64)
         code = np.array(ocode, dtype=np.int8)
         arg = np.array(oarg, dtype=np.int64)
@@ -1299,6 +1761,7 @@ class DenseEngine:
                 bool(h[tailch[has_tail]].any())
                 or bool(h[relch[relmask]].any())
             )
+        rinfo = None
         if fast:
             # common case: every touched channel is touched exactly
             # once — busy mover targets block deterministically (no
@@ -1306,15 +1769,18 @@ class DenseEngine:
             # commutes
             rd = np.zeros(n_ops, dtype=bool)
             blkrow = mvmask & busy
+            c.array_ops += 2
         else:
-            # a channel is order-sensitive (dirty) when it has waiters
-            # or several same-kind touches.  One acquire plus one
-            # release commutes when the channel has capacity slack (the
-            # acquire succeeds against round-start occupancy either
-            # way); at capacity, a release-before-acquire handoff still
-            # batches provided the releasing row itself is batched —
-            # resolved below with one pass over the pairs in acquire
-            # order, so convoy chains settle front to back.
+            # a channel is order-sensitive (dirty) when it has waiters,
+            # several same-kind touches, or contested capacity (full
+            # with at least one acquire and one release this round).
+            # Every row touching a dirty channel is routed through the
+            # ordered convoy resolver: the emission walk below settles
+            # those rows in exact calendar order against a lazy
+            # occupancy ledger, reproducing the scalar kernels'
+            # check-block-acquire-release order, FIFO waiter wakeups
+            # and same-round queue-jumps without per-row array reads.
+            c.resolver_rounds += 1
             uniq, inv = np.unique(touched, return_inverse=True)
             na = int(acq.size)
             mvrows = np.flatnonzero(mvmask)
@@ -1344,12 +1810,12 @@ class DenseEngine:
             acq_first = acq_pos <= rel_pos
             pair_u = pairable & ~acq_first  # release hands the slot on
             # acquire runs first and loses: the mover blocks, and the
-            # release must run scalar so its wake catches the fresh
-            # waiter enqueued earlier in the emission walk
+            # release must resolve in order so its wake catches the
+            # fresh waiter enqueued earlier in the emission walk
             blk2_u = pairable & acq_first
             bad_u = multi_u
             if self._waiter_total:
-                # releases into channels with waiters take the scalar
+                # releases into channels with waiters take the ordered
                 # wake path; acquires need no care — the reference lets
                 # a same-round acquire beat woken waiters, which only
                 # retry next round
@@ -1372,11 +1838,30 @@ class DenseEngine:
                 pr = rel_pos[pu].astype(np.int64).tolist()
                 for q, p in sorted(zip(qa, pr)):
                     # the handoff needs its release to actually run: a
-                    # blocked or dirty releasing *mover* may keep the
-                    # slot, while a scalar pure release always releases
-                    # (a wake-path release still frees the slot)
+                    # blocked or resolver-routed releasing *mover* may
+                    # keep the slot, while a pure release always
+                    # releases (a wake-path release still frees it)
                     if blkrow[p] or (rd[p] and ocode[p] != 1):
                         rd[q] = True
+            res = np.flatnonzero(rd)
+            rinfo = list(
+                zip(
+                    target[res].tolist(),
+                    tail_hop[res].tolist(),
+                    tailch[res].tolist(),
+                    tailpos[res].tolist(),
+                    relch[res].tolist(),
+                    rpos[res].tolist(),
+                    idx[res].tolist(),
+                    wlen[res].tolist(),
+                    self.w_mid[wv[res]].tolist(),
+                    self.w_inj[wv[res]].tolist(),
+                    self.rp_dest[tailpos[res]].tolist(),
+                    self.rp_dest[rpos[res]].tolist(),
+                )
+            )
+            c.resolver_events += len(rinfo)
+            c.array_ops += 34
         scalar_rows = rd | (code == 2)
         # batch the clean state transitions (channels are unique across
         # every clean acquire and release, so plain fancy indexing is a
@@ -1399,8 +1884,8 @@ class DenseEngine:
         nend = cm & (idx + 1 == wlen)
         n_scalar = int(scalar_rows.sum())
         n_clean = n_ops - n_scalar
-        c.events += n_scalar
-        c.scalar_fallback_events += int(rd.sum())
+        c.events += n_scalar - (len(rinfo) if rinfo is not None else 0)
+        c.array_ops += 10
         if n_clean:
             c.batched_events += n_clean
             c.batches += 1
@@ -1417,10 +1902,20 @@ class DenseEngine:
         chunk = None
         special = scalar_rows | relmask | dlv | nend | blkrow
         spl = np.flatnonzero(special).tolist()
-        scalar_l = scalar_rows.tolist()
+        rd_l = rd.tolist()
         blk_l = blkrow.tolist()
         dlv_l = dlv.tolist()
         nend_l = nend.tolist()
+        # convoy-resolver state: a lazy per-channel occupancy ledger
+        # ([in_use, cap], first touch reads the arrays once) plus the
+        # deferred cursor updates, scattered back in bulk after the walk
+        occ: dict = {}
+        adv_w: list[int] = []
+        adv_i: list[int] = []
+        ri = 0
+        in_use_ = self.in_use
+        cap_ = self.cap
+        rp_head = self.rp_head
         prev = 0
         di = 0
         for r in spl:
@@ -1454,14 +1949,59 @@ class DenseEngine:
             prev = r + 1
             w = ow[r]
             kd = ocode[r]
-            if scalar_l[r]:
-                chunk = None
-                if kd == 0:
-                    self._advance_path(w)
-                elif kd == 1:
-                    self._release_path_hop(w, oarg[r])
+            if rd_l[r]:
+                # ordered convoy resolver: settle this row against the
+                # occupancy ledger at its exact calendar position,
+                # mirroring the scalar kernels' check-block-acquire-
+                # release order, FIFO wakes and queue-jump semantics
+                tgt, th, tc, tp, rc, rpp, ix, wl, mid, inj, tdf, rdf = rinfo[ri]
+                ri += 1
+                if kd == 1:
+                    e = occ.get(rc)
+                    if e is None:
+                        e = occ[rc] = [int(in_use_[rc]), 0]
+                    e[0] -= 1
+                    if self._waiter_total:
+                        self._wake(rc)
+                    if rdf:
+                        self._deliver(mid, rp_head[rpp], inj)
                 else:
-                    self._arrive_path(w)
+                    e = occ.get(tgt)
+                    if e is None:
+                        e = occ[tgt] = [int(in_use_[tgt]), int(cap_[tgt])]
+                    elif not e[1]:
+                        e[1] = int(cap_[tgt])
+                    if e[0] >= e[1]:
+                        self._block(w, tgt)
+                    else:
+                        e[0] += 1
+                        if th >= 0:
+                            te = occ.get(tc)
+                            if te is None:
+                                te = occ[tc] = [int(in_use_[tc]), 0]
+                            te[0] -= 1
+                            if self._waiter_total:
+                                self._wake(tc)
+                            if tdf:
+                                self._deliver(mid, rp_head[tp], inj)
+                        ni = ix + 1
+                        adv_w.append(w)
+                        adv_i.append(ni)
+                        if ni == wl:
+                            if b1 is None:
+                                b1 = self._bucket(tick1)
+                            b1.append((_ARR, w))
+                            chunk = None
+                        elif chunk is not None:
+                            chunk.append(w)
+                        else:
+                            chunk = [w]
+                            if b1 is None:
+                                b1 = self._bucket(tick1)
+                            b1.append(chunk)
+            elif kd == 2:
+                chunk = None
+                self._arrive_path(w)
             elif blk_l[r]:
                 # deterministically rejected acquire: enqueue as a
                 # waiter (row order preserves FIFO) and emit nothing
@@ -1514,6 +2054,15 @@ class DenseEngine:
                 if b1 is None:
                     b1 = self._bucket(tick1)
                 b1.append(run)
+        if occ:
+            ks = np.fromiter(occ.keys(), dtype=np.int64, count=len(occ))
+            self.in_use[ks] = np.fromiter(
+                (e[0] for e in occ.values()), dtype=np.int32, count=len(occ)
+            )
+            c.array_ops += 2
+        if adv_w:
+            self.w_idx[np.array(adv_w, dtype=np.int64)] = adv_i
+            c.array_ops += 2
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -135,12 +135,16 @@ class WormholeNetwork:
         channel_key=None,
         capacity: int | None = None,
         flits: int | None = None,
+        route_key=None,
     ) -> "PathWorm":
         """Inject a path worm following ``nodes``; members of
         ``destinations`` latch a copy as the tail passes them.
         ``channel_key`` maps a hop to its channel identity (default:
         the ``(u, v)`` pair itself); ``flits`` overrides the message
-        length (header modelling)."""
+        length (header modelling).  ``route_key`` is a hashable token
+        that, together with ``(nodes, destinations, capacity)``, fully
+        determines every channel identity — engines with a route cache
+        may memoize on it; this scalar model ignores it."""
         channels = self.channels
         cap = capacity or self.config.channels_per_link
         chans = []

@@ -37,7 +37,19 @@ from .network import WormholeNetwork
 from .stats import SimStats, Summary, batch_means
 from .traffic import AdaptiveSpec, PathSpec, Router, TreeSpec, VCTTreeSpec
 
-ENGINES = ("reference", "dense")
+ENGINES = ("reference", "dense", "auto")
+
+#: aggregate injection gap — mean flit ticks between successive
+#: injections network-wide — above which the dense engine's frontier
+#: windows have room to amortize their fixed per-commit cost (measured
+#: crossover, PERFORMANCE.md §5; winning cells sit near 370, the
+#: contended regime below ~110)
+AUTO_GAP_TICKS = 320
+
+#: minimum routed hops per message for ``engine="auto"`` to pick dense:
+#: short multicast paths put too few rows in each frontier window to
+#: clear the NumPy dispatch crossover (PERFORMANCE.md §5)
+AUTO_MIN_HOPS = 96
 
 
 class DeadlockDetected(RuntimeError):
@@ -47,11 +59,89 @@ class DeadlockDetected(RuntimeError):
 def _check_engine(engine: str, env_factory=Environment) -> None:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if engine == "dense" and env_factory is not Environment:
+    if engine in ("dense", "auto") and env_factory is not Environment:
         raise ValueError(
-            "engine='dense' runs its own integer-tick calendar; "
+            f"engine={engine!r} runs its own integer-tick calendar; "
             "env_factory only applies to the reference engine"
         )
+
+
+def choose_engine(topology, router, config, faulty: bool | None = None) -> tuple[str, dict]:
+    """Pick ``"dense"`` or ``"reference"`` for one run from cheap, O(1)
+    workload features — the ``engine="auto"`` policy.
+
+    The dense engine only pays off when its multi-tick frontier windows
+    fire (PERFORMANCE.md §5): plain path worms, an arrival process
+    already on the flit-clock grid (so the switch never changes the
+    numbers), no fault schedule fragmenting the calendar, and injections
+    sparse enough network-wide that windows can span the ~100-row NumPy
+    dispatch crossover.  Everything else runs the reference kernel,
+    which is the never-materially-worse baseline.
+
+    Returns ``(engine, features)`` where ``features`` records every
+    input to the decision plus the decision itself; drivers surface it
+    as ``result.engine_stats["auto"]``.
+    """
+    if faulty is None:
+        faulty = config.faulty
+    gap = config.ticks(config.mean_interarrival)
+    nodes = topology.num_nodes
+    agg_gap = gap / max(1, nodes)
+    style = router.spec.worm_style
+    # one representative multicast (evenly spread destinations) routed
+    # once: its specs expose the expected route length and whether the
+    # scheme splits each message across virtual-channel planes
+    worms = hops = 0
+    plane_split = plain_paths = False
+    k = min(config.num_destinations, nodes - 1)
+    if style == "star" and k > 0:
+        # a mid-index source with destinations spread over the whole
+        # index range engages both planes of plane-splitting schemes
+        src_i = nodes // 2
+        sel: list[int] = []
+        for i in range(k + 1):
+            j = (i * nodes) // (k + 1)
+            if j != src_i and j not in sel:
+                sel.append(j)
+        dests = tuple(topology.node_at(j) for j in sel[:k])
+        specs = router(MulticastRequest.trusted(topology, topology.node_at(src_i), dests))
+        plain_paths = all(isinstance(s, PathSpec) for s in specs)
+        if plain_paths:
+            worms = len(specs)
+            hops = sum(len(s.nodes) - 1 for s in specs)
+            plane_split = any(s.plane is not None for s in specs)
+    features = {
+        "worm_style": style,
+        "nodes": nodes,
+        "interarrival_ticks": gap,
+        "aggregate_gap_ticks": round(agg_gap, 3),
+        "gap_threshold_ticks": AUTO_GAP_TICKS,
+        "flits_per_message": config.flits_per_message,
+        "num_destinations": config.num_destinations,
+        "route_hops": hops,
+        "hops_threshold": AUTO_MIN_HOPS,
+        "worms_per_message": worms,
+        "plane_split": plane_split,
+        "quantized": config.quantize_arrivals,
+        "faulty": bool(faulty),
+    }
+    if style != "star" or not plain_paths:
+        decision, reason = "reference", "worm-style"
+    elif plane_split:
+        decision, reason = "reference", "plane-split"
+    elif not config.quantize_arrivals:
+        decision, reason = "reference", "unquantized-grid"
+    elif faulty:
+        decision, reason = "reference", "fault-schedule"
+    elif agg_gap < AUTO_GAP_TICKS:
+        decision, reason = "reference", "saturated"
+    elif hops < AUTO_MIN_HOPS:
+        decision, reason = "reference", "short-routes"
+    else:
+        decision, reason = "dense", "frontier-windows"
+    features["decision"] = decision
+    features["reason"] = reason
+    return decision, features
 
 
 @dataclass(frozen=True)
@@ -96,6 +186,7 @@ def inject_specs(net, message_id: int, specs, capacity: int, router: "Router | N
                     channel_key=lambda u, v, p=plane: (u, v, p),
                     capacity=1,
                     flits=flits,
+                    route_key=plane,
                 )
         elif isinstance(spec, AdaptiveSpec):
             net.inject_adaptive_path(
@@ -168,12 +259,16 @@ def run_dynamic(
     both).
     """
     _check_engine(engine, env_factory)
+    auto: dict | None = None
+    if engine == "auto":
+        router = router or _make_router(topology, scheme, config)
+        engine, auto = choose_engine(topology, router, config)
     if engine == "dense":
         router = router or _make_router(topology, scheme, config)
         if _dense_fallback(router):
             config = config.replace(quantize_arrivals=True)
         else:
-            return _run_dynamic_dense(topology, scheme, config, router)
+            return _run_dynamic_dense(topology, scheme, config, router, auto=auto)
     env = env_factory()
     net = WormholeNetwork(env, config)
     rng = random.Random(config.seed)
@@ -234,11 +329,16 @@ def run_dynamic(
         deliveries=len(net.deliveries),
         sim_time=env.now,
         worms=net.total_worms,
+        engine_stats={"auto": auto} if auto is not None else None,
     )
 
 
 def _run_dynamic_dense(
-    topology: Topology, scheme: str, config: SimConfig, router: Router
+    topology: Topology,
+    scheme: str,
+    config: SimConfig,
+    router: Router,
+    auto: dict | None = None,
 ) -> DynamicResult:
     """:func:`run_dynamic` on the structure-of-arrays engine.
 
@@ -290,6 +390,9 @@ def _run_dynamic_dense(
         )
 
     cutoff = config.num_messages * config.warmup_fraction
+    stats = eng.cache_stats()
+    if auto is not None:
+        stats["auto"] = auto
     return DynamicResult(
         latency=batch_means(eng.latencies(cutoff)),
         injected_messages=state["injected"],
@@ -297,7 +400,7 @@ def _run_dynamic_dense(
         sim_time=eng.now,
         worms=eng.total_worms,
         engine="dense",
-        engine_stats=eng.cache_stats(),
+        engine_stats=stats,
     )
 
 
@@ -359,6 +462,14 @@ def run_resilient(
     _check_engine(engine, env_factory)
     if plan is None:
         plan = FaultPlan.from_config(topology, config)
+    auto: dict | None = None
+    if engine == "auto":
+        engine, auto = choose_engine(
+            topology,
+            _make_router(topology, scheme, config, FaultState(plan)),
+            config,
+            faulty=config.faulty or bool(plan.events),
+        )
     if engine == "dense":
         fault_state = FaultState(plan)
         router = _make_router(topology, scheme, config, fault_state)
@@ -366,7 +477,7 @@ def run_resilient(
             config = config.replace(quantize_arrivals=True)
         else:
             return _run_resilient_dense(
-                topology, scheme, config, plan, fault_state, router
+                topology, scheme, config, plan, fault_state, router, auto=auto
             )
     env = env_factory()
     stats = SimStats()
@@ -499,6 +610,7 @@ def run_resilient(
         worms=net.total_worms,
         stats=stats,
         expected_deliveries=total_expected,
+        engine_stats={"auto": auto} if auto is not None else None,
     )
 
 
@@ -509,6 +621,7 @@ def _run_resilient_dense(
     plan: FaultPlan,
     fault_state: FaultState,
     router: Router,
+    auto: dict | None = None,
 ) -> FaultResult:
     """:func:`run_resilient` on the structure-of-arrays engine (the
     fault-aware scalar kernels plus the vectorized fault mask)."""
@@ -624,6 +737,8 @@ def _run_resilient_dense(
     total_expected = sum(len(dests) for dests in expected.values())
     stats.dropped = total_expected - stats.delivered
     stats.engine_counters = eng.cache_stats()
+    if auto is not None:
+        stats.engine_counters["auto"] = auto
     empty = Summary(float("nan"), float("inf"), 0, 0)
     return FaultResult(
         latency=batch_means(latencies) if latencies else empty,
@@ -699,12 +814,15 @@ def run_mixed(
     from ..labeling import canonical_labeling
 
     labeling = router.labeling or canonical_labeling(topology)
+    auto: dict | None = None
+    if engine == "auto":
+        engine, auto = choose_engine(topology, router, config)
     if engine == "dense":
         if _dense_fallback(router):
             config = config.replace(quantize_arrivals=True)
         else:
             return _run_mixed_dense(
-                topology, router, labeling, config, unicast_fraction
+                topology, router, labeling, config, unicast_fraction, auto=auto
             )
     env = Environment()
     net = WormholeNetwork(env, config)
@@ -768,6 +886,7 @@ def run_mixed(
         multicast_latency=batch_means(multi) if multi else empty,
         injected_messages=state["injected"],
         sim_time=env.now,
+        engine_stats={"auto": auto} if auto is not None else None,
     )
 
 
@@ -777,6 +896,7 @@ def _run_mixed_dense(
     labeling,
     config: SimConfig,
     unicast_fraction: float,
+    auto: dict | None = None,
 ) -> MixedResult:
     """:func:`run_mixed` on the structure-of-arrays engine."""
     eng = DenseEngine(config)
@@ -834,13 +954,16 @@ def _run_mixed_dense(
         if mid > cutoff and kinds[mid] == "multicast"
     ]
     empty = Summary(float("nan"), float("inf"), 0, 0)
+    stats = eng.cache_stats()
+    if auto is not None:
+        stats["auto"] = auto
     return MixedResult(
         unicast_latency=batch_means(uni) if uni else empty,
         multicast_latency=batch_means(multi) if multi else empty,
         injected_messages=state["injected"],
         sim_time=eng.now,
         engine="dense",
-        engine_stats=eng.cache_stats(),
+        engine_stats=stats,
     )
 
 
@@ -869,6 +992,10 @@ def run_static_scenario(
     config = config or SimConfig()
     _check_engine(engine)
     router = Router(topology, scheme, channels_per_link=config.channels_per_link)
+    if engine == "auto":
+        # no arrival process to feature-ize: a static scenario is one
+        # burst at time zero, which the reference kernel handles best
+        engine = "reference"
     if engine == "dense" and not _dense_fallback(router):
         eng = DenseEngine(config)
         for mid, request in enumerate(requests, start=1):

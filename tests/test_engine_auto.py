@@ -1,0 +1,195 @@
+"""``engine="auto"`` — per-run engine selection from workload features.
+
+The policy (:func:`repro.sim.runner.choose_engine`) must (a) pick the
+dense engine exactly where its frontier windows pay off, (b) record
+every feature that fed the decision in ``result.engine_stats["auto"]``,
+and (c) never change the numbers a caller would have gotten from the
+engine it resolves to.
+"""
+
+import pytest
+
+from repro.parallel import SweepJob, run_sweep
+from repro.sim.config import SimConfig
+from repro.sim.runner import (
+    AUTO_GAP_TICKS,
+    AUTO_MIN_HOPS,
+    choose_engine,
+    run_dynamic,
+    run_mixed,
+    run_resilient,
+    run_static_scenario,
+    _make_router,
+)
+from repro.topology import Hypercube, Mesh2D
+
+DYADIC = dict(bandwidth=2**21, flit_bytes=2, quantize_arrivals=True)
+
+
+def _light_config(**kw):
+    """Sparse Poisson traffic: aggregate injection gap well above the
+    window-amortization threshold."""
+    base = dict(
+        mean_interarrival=360000e-6,
+        num_messages=30,
+        num_destinations=4,
+        channels_per_link=2,
+        seed=11,
+        **DYADIC,
+    )
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def _decide(topology, scheme, config, **kw):
+    return choose_engine(topology, _make_router(topology, scheme, config), config, **kw)
+
+
+class TestChooseEngine:
+    def test_light_fixed_path_picks_dense(self):
+        engine, feats = _decide(Hypercube(7), "fixed-path", _light_config())
+        assert engine == "dense"
+        assert feats["decision"] == "dense"
+        assert feats["reason"] == "frontier-windows"
+        assert feats["aggregate_gap_ticks"] >= AUTO_GAP_TICKS
+        assert feats["route_hops"] >= AUTO_MIN_HOPS
+
+    def test_saturated_picks_reference(self):
+        engine, feats = _decide(
+            Hypercube(6), "fixed-path", _light_config(mean_interarrival=300e-6)
+        )
+        assert engine == "reference"
+        assert feats["reason"] == "saturated"
+        assert feats["aggregate_gap_ticks"] < AUTO_GAP_TICKS
+
+    def test_short_routes_pick_reference(self):
+        # dual-path on a small mesh splits each multicast into two short
+        # worms — too few frontier rows to clear the dispatch crossover
+        engine, feats = _decide(
+            Mesh2D(16, 16), "dual-path", _light_config(num_destinations=6)
+        )
+        assert engine == "reference"
+        assert feats["reason"] == "short-routes"
+        assert 0 < feats["route_hops"] < AUTO_MIN_HOPS
+        assert feats["worms_per_message"] >= 2
+
+    def test_tree_style_picks_reference(self):
+        engine, feats = _decide(Hypercube(6), "ecube-tree", _light_config())
+        assert engine == "reference"
+        assert feats["reason"] == "worm-style"
+        assert feats["worm_style"] == "tree"
+
+    def test_unquantized_grid_picks_reference(self):
+        cfg = _light_config().replace(quantize_arrivals=False)
+        engine, feats = _decide(Hypercube(6), "fixed-path", cfg)
+        assert engine == "reference"
+        assert feats["reason"] == "unquantized-grid"
+
+    def test_fault_schedule_picks_reference(self):
+        engine, feats = _decide(
+            Hypercube(6), "fixed-path", _light_config(), faulty=True
+        )
+        assert engine == "reference"
+        assert feats["reason"] == "fault-schedule"
+        assert feats["faulty"] is True
+
+    def test_features_are_complete(self):
+        _, feats = _decide(Hypercube(7), "fixed-path", _light_config())
+        for key in (
+            "worm_style",
+            "nodes",
+            "interarrival_ticks",
+            "aggregate_gap_ticks",
+            "gap_threshold_ticks",
+            "flits_per_message",
+            "num_destinations",
+            "route_hops",
+            "hops_threshold",
+            "worms_per_message",
+            "plane_split",
+            "quantized",
+            "faulty",
+            "decision",
+            "reason",
+        ):
+            assert key in feats, key
+
+
+class TestRunDynamicAuto:
+    def test_dense_decision_matches_dense_run(self):
+        topo, cfg = Hypercube(7), _light_config()
+        auto = run_dynamic(topo, "fixed-path", cfg, engine="auto")
+        dense = run_dynamic(topo, "fixed-path", cfg, engine="dense")
+        assert auto.engine == "dense"
+        assert auto.engine_stats["auto"]["decision"] == "dense"
+        assert (auto.sim_time, auto.deliveries, auto.worms) == (
+            dense.sim_time,
+            dense.deliveries,
+            dense.worms,
+        )
+        assert auto.latency == dense.latency
+        # the dense counters stay alongside the decision record
+        assert "windows" in auto.engine_stats
+
+    def test_reference_decision_matches_reference_run(self):
+        topo = Hypercube(6)
+        cfg = _light_config(mean_interarrival=500e-6, num_messages=20)
+        auto = run_dynamic(topo, "fixed-path", cfg, engine="auto")
+        ref = run_dynamic(topo, "fixed-path", cfg, engine="reference")
+        assert auto.engine == "reference"
+        assert auto.engine_stats["auto"]["decision"] == "reference"
+        assert (auto.sim_time, auto.deliveries) == (ref.sim_time, ref.deliveries)
+        assert auto.latency == ref.latency
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_dynamic(Hypercube(4), "fixed-path", _light_config(), engine="bogus")
+
+
+class TestOtherDriversAuto:
+    def test_mixed_records_decision(self):
+        res = run_mixed(Hypercube(6), "fixed-path", _light_config(), engine="auto")
+        assert res.engine in ("reference", "dense")
+        assert res.engine_stats["auto"]["decision"] == res.engine
+
+    def test_resilient_with_faults_goes_reference(self):
+        cfg = _light_config(link_fault_rate=0.02, fault_mtbf=1.0, num_messages=15)
+        res = run_resilient(Hypercube(6), "fixed-path", cfg, engine="auto")
+        assert res.engine == "reference"
+        assert res.engine_stats["auto"]["reason"] == "fault-schedule"
+
+    def test_resilient_faultfree_can_go_dense(self):
+        res = run_resilient(Hypercube(6), "fixed-path", _light_config(), engine="auto")
+        assert res.engine_stats["auto"]["decision"] == res.engine
+
+    def test_static_scenario_accepts_auto(self):
+        from repro.models.request import MulticastRequest
+
+        topo = Hypercube(4)
+        reqs = [MulticastRequest(topo, 0, (3, 5))]
+        res = run_static_scenario(topo, "fixed-path", reqs, engine="auto")
+        assert res.completed
+
+
+class TestSweepAuto:
+    def test_sweepjob_accepts_auto(self):
+        job = SweepJob(Hypercube(4), "fixed-path", _light_config(), engine="auto")
+        assert job.engine == "auto"
+
+    def test_sweepjob_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepJob(Hypercube(4), "fixed-path", _light_config(), engine="bogus")
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        from repro.parallel import SweepStats
+
+        jobs = [
+            SweepJob(Hypercube(4), "fixed-path", _light_config(seed=s), engine="auto")
+            for s in (1, 2)
+        ]
+        ckpt = str(tmp_path / "sweep.jsonl")
+        first = run_sweep(jobs, workers=1, checkpoint=ckpt)
+        stats = SweepStats()
+        again = run_sweep(jobs, workers=1, checkpoint=ckpt, resume=True, stats=stats)
+        assert stats.resumed == len(jobs)
+        assert [r.latency.mean for r in again] == [r.latency.mean for r in first]
